@@ -1,0 +1,53 @@
+"""Figure 17 — spatial join (Lakes ⋈ Cemetery) execution-time breakdown for a
+growing number of grid cells at a fixed process count.
+
+Paper shape: increasing the number of grid cells decreases the overall
+execution time because the cell is the unit task — with too few cells some
+processes sit idle while others carry oversized cells.  The reported time per
+phase is the maximum over processes, so the total is below the sum of phases.
+"""
+
+from repro.bench import join_breakdown_figure, run_join_breakdown
+
+CELL_COUNTS = [1, 4, 16, 64]
+PROCS = 4
+
+
+def test_fig17_join_breakdown_vs_grid_cells(lustre, join_datasets, once):
+    report = once(
+        join_breakdown_figure,
+        lustre,
+        join_datasets["lakes_uniform"],
+        join_datasets["cemetery_uniform"],
+        CELL_COUNTS,
+        "cells",
+        PROCS,
+        64,
+        "Figure 17",
+        "Join breakdown vs number of grid cells (Lakes x Cemetery)",
+    )
+    report.print()
+
+    refine = dict(zip(report.series_by_label("refine").x, report.series_by_label("refine").y))
+    total = dict(zip(report.series_by_label("total").x, report.series_by_label("total").y))
+
+    # with a single cell only one process performs the whole join; spreading
+    # the work over many cells brings the per-process maximum down
+    assert refine[CELL_COUNTS[-1]] < refine[CELL_COUNTS[0]]
+    # the end-to-end time with a well-sized grid does not exceed the
+    # single-cell configuration
+    assert total[CELL_COUNTS[-1]] <= total[CELL_COUNTS[0]] * 1.05
+
+    # the total reported is the per-phase maximum over processes, hence less
+    # than or equal to the sum of the phase maxima (the paper's note)
+    for cells in CELL_COUNTS:
+        phase_sum = sum(
+            dict(zip(report.series_by_label(p).x, report.series_by_label(p).y))[cells]
+            for p in ("io", "parse", "partition", "communication", "refine")
+        )
+        assert total[cells] <= phase_sum * 1.001
+
+    # the stacked phases always include non-trivial I/O and parse components
+    for phase in ("io", "parse"):
+        series = dict(zip(report.series_by_label(phase).x, report.series_by_label(phase).y))
+        assert all(v > 0 for v in series.values())

@@ -1,0 +1,34 @@
+"""Table 3 — sequential I/O + parsing time per dataset.
+
+Paper: six OSM extracts; parsing a 100 GB-class file takes about an hour, and
+polygonal data (All Objects) parses slower than larger-but-simpler line/point
+data.  Reproduction: scaled synthetic datasets; the shape to check is the
+relative ordering (cemetery ≪ lakes < roads < the big three) and that the
+mixed polygon layer costs more per byte than the point layer.
+"""
+
+from repro.bench import sequential_parse_table
+from repro.datasets import DATASETS
+
+
+def test_table3_sequential_parsing(lustre, once):
+    report = once(sequential_parse_table, lustre, 0.5)
+    report.print()
+
+    times = dict(zip(report.series[0].x, report.series[0].y))
+    counts = dict(zip(report.series[1].x, report.series[1].y))
+
+    # every dataset was generated and parsed
+    assert set(times) == set(DATASETS)
+    assert all(v > 0 for v in times.values())
+    assert all(counts[name] > 0 for name in DATASETS)
+
+    # shape: the small Cemetery layer is by far the cheapest, and the three
+    # large layers dominate, as in the paper's Table 3
+    assert times["cemetery"] < times["lakes"]
+    assert times["cemetery"] < min(times["all_objects"], times["road_network"], times["all_nodes"])
+
+    # polygons cost more to parse per geometry than points (Figure 14's point)
+    per_geom_objects = times["all_objects"] / counts["all_objects"]
+    per_geom_nodes = times["all_nodes"] / counts["all_nodes"]
+    assert per_geom_objects > per_geom_nodes

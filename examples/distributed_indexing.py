@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Distributed in-memory spatial indexing of a road network (Figure 20's
+workload) followed by window queries against the distributed index.
+
+The paper indexes 717 M road-network edges (137 GB) in 90 seconds on 320
+processes; this example runs the same pipeline — parallel read, grid
+partitioning, all-to-all exchange, per-cell R-tree build — on a scaled
+synthetic network with 4 simulated ranks.
+
+Run it with::
+
+    python examples/distributed_indexing.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import mpisim
+from repro.core import DistributedIndex, GridPartitionConfig, PartitionConfig
+from repro.datasets import generate_dataset
+from repro.geometry import Envelope
+from repro.mpisim import ops
+from repro.pfs import LustreFilesystem
+
+NPROCS = 4
+NUM_CELLS = 128
+
+
+def rank_program(comm: mpisim.Communicator, fs: LustreFilesystem):
+    index = DistributedIndex(
+        fs,
+        partition_config=PartitionConfig(block_size=128 * 1024),
+        grid_config=GridPartitionConfig(num_cells=NUM_CELLS),
+    )
+    report = index.build(comm, "datasets/road_network.wkt")
+
+    total_indexed = index.total_indexed(comm, report)
+    cells_owned = comm.allreduce(len(report.cells), ops.SUM)
+    if comm.rank == 0:
+        print(f"indexed {total_indexed} road segments into {cells_owned} cell R-trees")
+
+    # every rank answers a window query over its own cells; here the window is
+    # a band through the middle of the world extent
+    window = Envelope(-40.0, -20.0, 40.0, 20.0)
+    local_hits = len(report.query_local(window))
+    global_hits = comm.allreduce(local_hits, ops.SUM)
+    if comm.rank == 0:
+        print(f"window {window.as_tuple()} matches {global_hits} segments")
+
+    return report.breakdown.as_dict()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="mpi-vector-io-index-") as root:
+        fs = LustreFilesystem(root)
+        path = generate_dataset(fs, "road_network", scale=0.1)
+        print(f"road network: {fs.file_size(path) / 1024:.1f} KiB")
+
+        run = mpisim.run_spmd(rank_program, NPROCS, fs)
+
+        print("\nindexing breakdown (maximum over ranks, simulated seconds)")
+        for phase in ("io", "parse", "partition", "communication", "refine", "total"):
+            print(f"  {phase:<14} {max(v[phase] for v in run.values):.4f}")
+
+
+if __name__ == "__main__":
+    main()

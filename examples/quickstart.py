@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: read a WKT dataset in parallel with MPI-Vector-IO.
+
+The example builds a small synthetic "lakes" layer on a simulated Lustre
+filesystem, partitions the file among 4 simulated MPI ranks with the paper's
+message-based Algorithm 1, parses the records into geometries and reports what
+each rank ended up with.
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import mpisim
+from repro.core import PartitionConfig, VectorIO
+from repro.datasets import generate_dataset
+from repro.mpisim import ops
+from repro.pfs import LustreFilesystem
+
+NPROCS = 4
+
+
+def build_filesystem(root: str) -> LustreFilesystem:
+    """Create the simulated Lustre filesystem and a synthetic lakes layer."""
+    fs = LustreFilesystem(root, ost_count=32)
+    path = generate_dataset(fs, "lakes", scale=0.1)
+    # stripe the file the way a COMET user would with `lfs setstripe`
+    fs.setstripe(path, stripe_size=1 << 20, stripe_count=16)
+    print(f"created {path} ({fs.file_size(path) / 1024:.1f} KiB) on {fs.describe()}")
+    return fs
+
+
+def rank_program(comm: mpisim.Communicator, fs: LustreFilesystem) -> dict:
+    """The SPMD program every simulated rank executes."""
+    vio = VectorIO(fs, PartitionConfig(block_size=64 * 1024, level=0), strategy="message")
+    report = vio.read_geometries(comm, "datasets/lakes.wkt")
+
+    total = comm.allreduce(report.num_geometries, ops.SUM)
+    local_area = sum(g.area for g in report.geometries)
+    global_area = comm.allreduce(local_area, ops.SUM)
+
+    if comm.rank == 0:
+        print(f"[rank 0] dataset has {total} polygons, total area {global_area:.4f}")
+    return {
+        "rank": comm.rank,
+        "geometries": report.num_geometries,
+        "io_seconds": report.io_seconds,
+        "parse_seconds": report.parse_seconds,
+    }
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="mpi-vector-io-") as root:
+        fs = build_filesystem(root)
+        result = mpisim.run_spmd(rank_program, NPROCS, fs)
+
+        print("\nper-rank summary")
+        print(f"{'rank':>4}  {'geometries':>10}  {'io (s)':>8}  {'parse (s)':>9}")
+        for row in result.values:
+            print(
+                f"{row['rank']:>4}  {row['geometries']:>10}  "
+                f"{row['io_seconds']:>8.4f}  {row['parse_seconds']:>9.4f}"
+            )
+        print(f"\nsimulated end-to-end time: {result.max_time:.4f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""End-to-end distributed spatial join (the paper's exemplar application).
+
+"Find all pairs of lakes and cemeteries that intersect": two WKT layers are
+read in parallel, spatially partitioned onto a cell grid, exchanged all-to-all
+and joined cell by cell with the filter-and-refine technique.  The per-phase
+breakdown printed at the end is the same decomposition the paper plots in
+Figures 17–19.
+
+Run it with::
+
+    python examples/spatial_join_lakes_cemetery.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import mpisim
+from repro.core import GridPartitionConfig, PartitionConfig, SpatialJoin
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.mpisim import ops
+from repro.pfs import LustreFilesystem
+
+NPROCS = 4
+NUM_CELLS = 64
+
+
+def build_layers(root: str) -> LustreFilesystem:
+    fs = LustreFilesystem(root)
+    cfg = SyntheticConfig(seed=42, clusters=5)
+    lakes = generate_dataset(fs, "lakes", scale=0.1, config=cfg)
+    cemetery = generate_dataset(fs, "cemetery", scale=0.5, config=cfg)
+    print(f"lakes:    {fs.file_size(lakes) / 1024:.1f} KiB")
+    print(f"cemetery: {fs.file_size(cemetery) / 1024:.1f} KiB")
+    return fs
+
+
+def rank_program(comm: mpisim.Communicator, fs: LustreFilesystem):
+    join = SpatialJoin(
+        fs,
+        partition_config=PartitionConfig(block_size=64 * 1024),
+        grid_config=GridPartitionConfig(num_cells=NUM_CELLS),
+    )
+    result = join.run(comm, "datasets/lakes.wkt", "datasets/cemetery.wkt")
+
+    pair_count = comm.allreduce(len(result.local_results), ops.SUM)
+    if comm.rank == 0:
+        print(f"\nspatial join produced {pair_count} intersecting (lake, cemetery) pairs")
+        for pair in result.local_results[:5]:
+            print(f"  cell {pair.cell_id}: {pair.left.userdata!r} x {pair.right.userdata!r}")
+    return result.breakdown.as_dict()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="mpi-vector-io-join-") as root:
+        fs = build_layers(root)
+        run = mpisim.run_spmd(rank_program, NPROCS, fs)
+
+        print("\nper-phase breakdown (maximum over ranks, simulated seconds)")
+        phases = ["io", "parse", "partition", "communication", "refine", "total"]
+        maxima = {p: max(v[p] for v in run.values) for p in phases}
+        for phase in phases:
+            print(f"  {phase:<14} {maxima[phase]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Benchmark harness: experiment drivers and reporting for every table and
+figure of the paper's evaluation section (see ``benchmarks/``)."""
+
+from .harness import (
+    algorithm1_read_time,
+    collective_contiguous_read_time,
+    collective_read_figure,
+    ensure_dataset,
+    gpfs_io_parsing_figure,
+    join_breakdown_figure,
+    level0_bandwidth_figure,
+    message_vs_overlap_figure,
+    noncontig_binary_figure,
+    noncontig_polygon_figure,
+    noncontiguous_read_time,
+    overlap_read_time,
+    run_indexing_breakdown,
+    run_join_breakdown,
+    sequential_parse_table,
+    struct_vs_contiguous_figure,
+    union_reduce_scan_figure,
+)
+from .reporting import FigureReport, Series, bandwidth_gbps, format_table
+
+__all__ = [
+    "FigureReport",
+    "Series",
+    "format_table",
+    "bandwidth_gbps",
+    "algorithm1_read_time",
+    "overlap_read_time",
+    "collective_contiguous_read_time",
+    "noncontiguous_read_time",
+    "level0_bandwidth_figure",
+    "message_vs_overlap_figure",
+    "collective_read_figure",
+    "struct_vs_contiguous_figure",
+    "union_reduce_scan_figure",
+    "gpfs_io_parsing_figure",
+    "noncontig_binary_figure",
+    "noncontig_polygon_figure",
+    "run_join_breakdown",
+    "run_indexing_breakdown",
+    "join_breakdown_figure",
+    "sequential_parse_table",
+    "ensure_dataset",
+]

@@ -1,0 +1,204 @@
+"""Filter-and-refine framework for distributed spatial computations.
+
+Figure 7 of the paper lists the steps needed to parallelise a spatial
+computation with MPI-Vector-IO: parallel read + parse, global spatial
+partitioning, all-to-all exchange, then per-cell *refine* tasks scheduled by
+the cell→rank mapping.  :class:`SpatialComputation` is that driver; spatial
+join (:mod:`repro.core.join`), distributed indexing
+(:mod:`repro.core.indexing`) and range query (:mod:`repro.core.query`) extend
+it by overriding :meth:`SpatialComputation.refine`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..geometry import Geometry
+from ..index import GridCell, UniformGrid
+from ..mpisim import Communicator
+from ..pfs import SimulatedFilesystem
+from .exchange import exchange_cells
+from .grid_partition import (
+    GridPartitionConfig,
+    assign_to_cells,
+    build_grid,
+    cell_mapping,
+    cell_rtree,
+    compute_global_extent,
+)
+from .parsers import GeometryParser, WKTParser
+from .partition import PartitionConfig
+from .reader import VectorIO
+
+__all__ = ["PhaseBreakdown", "ComputationResult", "SpatialComputation"]
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase simulated seconds for one rank (the stacked-bar data of the
+    paper's Figures 17–20)."""
+
+    io: float = 0.0
+    parse: float = 0.0
+    partition: float = 0.0
+    communication: float = 0.0
+    refine: float = 0.0
+    total: float = 0.0
+
+    @staticmethod
+    def from_clock(comm: Communicator) -> "PhaseBreakdown":
+        clock = comm.clock
+        return PhaseBreakdown(
+            io=clock.category("io"),
+            parse=clock.category("parse"),
+            partition=clock.category("partition"),
+            communication=clock.category("comm") + clock.category("comm_pack") + clock.category("wait"),
+            refine=clock.category("refine"),
+            total=clock.now,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "io": self.io,
+            "parse": self.parse,
+            "partition": self.partition,
+            "communication": self.communication,
+            "refine": self.refine,
+            "total": self.total,
+        }
+
+
+@dataclass
+class ComputationResult:
+    """Per-rank result of a distributed spatial computation."""
+
+    #: refine outputs of the cells owned by this rank
+    local_results: List[Any]
+    #: cells owned by this rank
+    owned_cells: List[int]
+    #: per-phase timing of this rank
+    breakdown: PhaseBreakdown
+    #: number of geometries this rank held after the exchange
+    local_geometries: int = 0
+
+
+class SpatialComputation(ABC):
+    """Base driver for filter-and-refine computations over one or two layers."""
+
+    #: clock category used for the refine phase (subclasses override to get
+    #: "join"/"index"-specific labels in the breakdowns if they wish)
+    refine_category = "refine"
+
+    def __init__(
+        self,
+        fs: SimulatedFilesystem,
+        partition_config: Optional[PartitionConfig] = None,
+        grid_config: Optional[GridPartitionConfig] = None,
+        strategy: str = "message",
+        exchange_window: Optional[int] = None,
+    ) -> None:
+        self.fs = fs
+        self.partition_config = partition_config or PartitionConfig()
+        self.grid_config = grid_config or GridPartitionConfig()
+        self.strategy = strategy
+        self.exchange_window = exchange_window
+
+    # ------------------------------------------------------------------ #
+    # extension points
+    # ------------------------------------------------------------------ #
+    def parser(self) -> GeometryParser:
+        """Parser used for every input layer (override per format)."""
+        return WKTParser()
+
+    @abstractmethod
+    def refine(
+        self,
+        cell: GridCell,
+        left: Sequence[Geometry],
+        right: Sequence[Geometry],
+    ) -> List[Any]:
+        """Exact computation for one cell.
+
+        *left* holds the cell's geometries from the first layer and *right*
+        from the second layer (empty for single-layer computations).
+        """
+
+    # ------------------------------------------------------------------ #
+    # driver
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        comm: Communicator,
+        left_path: str,
+        right_path: Optional[str] = None,
+    ) -> ComputationResult:
+        """Execute the full pipeline on the calling rank."""
+        vio = VectorIO(self.fs, self.partition_config, self.strategy)
+
+        left_report = vio.read_geometries(comm, left_path, self.parser())
+        right_geoms: List[Geometry] = []
+        if right_path is not None:
+            right_report = vio.read_geometries(comm, right_path, self.parser())
+            right_geoms = right_report.geometries
+        left_geoms = left_report.geometries
+
+        # Global extent covers both layers (single MPI_UNION reduction).
+        extent = compute_global_extent(
+            comm, list(left_geoms) + list(right_geoms), margin=self.grid_config.extent_margin
+        )
+        if extent.is_empty:
+            return ComputationResult([], [], PhaseBreakdown.from_clock(comm), 0)
+
+        grid = build_grid(extent, self.grid_config.num_cells)
+        mapping = cell_mapping(grid, comm.size, self.grid_config.mapping)
+
+        with comm.clock.compute(category="partition"):
+            tree = cell_rtree(grid)
+            left_cells = assign_to_cells(grid, left_geoms, tree)
+            right_cells = assign_to_cells(grid, right_geoms, tree) if right_geoms else {}
+
+        owned_left = exchange_cells(comm, left_cells, mapping, window=self.exchange_window)
+        owned_right = (
+            exchange_cells(comm, right_cells, mapping, window=self.exchange_window)
+            if right_path is not None
+            else {}
+        )
+
+        my_cells = sorted(set(owned_left) | set(owned_right))
+        results: List[Any] = []
+        with comm.clock.compute(category="refine"):
+            for cell_id in my_cells:
+                cell = grid.cell_by_id(cell_id)
+                results.extend(
+                    self.refine(cell, owned_left.get(cell_id, []), owned_right.get(cell_id, []))
+                )
+
+        local_count = sum(len(v) for v in owned_left.values()) + sum(
+            len(v) for v in owned_right.values()
+        )
+        return ComputationResult(
+            local_results=results,
+            owned_cells=my_cells,
+            breakdown=PhaseBreakdown.from_clock(comm),
+            local_geometries=local_count,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_gathered(
+        self,
+        comm: Communicator,
+        left_path: str,
+        right_path: Optional[str] = None,
+        root: int = 0,
+    ) -> Optional[List[Any]]:
+        """Run the computation and gather every rank's results at *root*."""
+        local = self.run(comm, left_path, right_path)
+        gathered = comm.gather(local.local_results, root=root)
+        if comm.rank != root:
+            return None
+        out: List[Any] = []
+        for chunk in gathered or []:
+            out.extend(chunk)
+        return out

@@ -1,0 +1,124 @@
+"""Distributed spatial join (the paper's exemplar end-to-end application).
+
+"Given two spatial datasets R and S and a spatial join predicate θ (e.g.,
+overlap, contain, intersect), spatial join returns the set of all pairs (r, s)
+where r ∈ R, s ∈ S, and θ is true for (r, s)."  The implementation follows the
+filter-and-refine recipe per grid cell:
+
+* **filter** — build an STR-packed R-tree over the cell's right-layer MBRs and
+  probe it with the left-layer MBRs,
+* **refine** — evaluate the exact predicate on every candidate pair,
+* **duplicate avoidance** — because geometries spanning several cells are
+  replicated, a pair is reported only by the cell containing the reference
+  point (the lower-left corner of the pair's MBR intersection), "carried out
+  later in the refinement phase" exactly as §4 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..geometry import Envelope, Geometry, predicates
+from ..index import GridCell, STRtree
+from ..mpisim import Communicator
+from ..pfs import SimulatedFilesystem
+from .framework import ComputationResult, SpatialComputation
+from .grid_partition import GridPartitionConfig
+from .partition import PartitionConfig
+
+__all__ = ["JoinPair", "SpatialJoin", "join_cell"]
+
+Predicate = Callable[[Geometry, Geometry], bool]
+
+
+@dataclass(frozen=True)
+class JoinPair:
+    """One result pair of the spatial join."""
+
+    left: Geometry
+    right: Geometry
+    cell_id: int
+
+    def keys(self) -> Tuple[Any, Any]:
+        """Stable identification of the pair (userdata when present, WKT
+        otherwise) — useful for comparing against a sequential baseline."""
+        left_key = self.left.userdata if self.left.userdata is not None else self.left.wkt()
+        right_key = self.right.userdata if self.right.userdata is not None else self.right.wkt()
+        return (left_key, right_key)
+
+
+def _reference_point(a: Envelope, b: Envelope) -> Tuple[float, float]:
+    """Lower-left corner of the MBR intersection (the classic duplicate-
+    avoidance reference point)."""
+    inter = a.intersection(b)
+    return (inter.minx, inter.miny)
+
+
+def join_cell(
+    cell: GridCell,
+    left: Sequence[Geometry],
+    right: Sequence[Geometry],
+    predicate: Predicate = predicates.intersects,
+    deduplicate: bool = True,
+    node_capacity: int = 16,
+) -> List[JoinPair]:
+    """Filter-and-refine join of one cell's two geometry collections."""
+    if not left or not right:
+        return []
+    tree: STRtree = STRtree(((g.envelope, g) for g in right), node_capacity=node_capacity)
+    results: List[JoinPair] = []
+    for lg in left:
+        lenv = lg.envelope
+        for rg in tree.query(lenv):
+            renv = rg.envelope
+            if deduplicate:
+                ref = _reference_point(lenv, renv)
+                if not cell.envelope.contains_point(*ref):
+                    continue
+            if predicate(lg, rg):
+                results.append(JoinPair(lg, rg, cell.cell_id))
+    return results
+
+
+class SpatialJoin(SpatialComputation):
+    """Distributed spatial join over two WKT layers.
+
+    Example::
+
+        join = SpatialJoin(fs, grid_config=GridPartitionConfig(num_cells=256))
+        result = join.run(comm, "datasets/lakes.wkt", "datasets/cemetery.wkt")
+        pairs = result.local_results          # this rank's join pairs
+    """
+
+    refine_category = "join"
+
+    def __init__(
+        self,
+        fs: SimulatedFilesystem,
+        predicate: Predicate = predicates.intersects,
+        partition_config: Optional[PartitionConfig] = None,
+        grid_config: Optional[GridPartitionConfig] = None,
+        strategy: str = "message",
+        exchange_window: Optional[int] = None,
+        deduplicate: bool = True,
+    ) -> None:
+        super().__init__(fs, partition_config, grid_config, strategy, exchange_window)
+        self.predicate = predicate
+        self.deduplicate = deduplicate
+
+    def refine(
+        self,
+        cell: GridCell,
+        left: Sequence[Geometry],
+        right: Sequence[Geometry],
+    ) -> List[JoinPair]:
+        return join_cell(cell, left, right, self.predicate, self.deduplicate)
+
+    # ------------------------------------------------------------------ #
+    def count_pairs(self, comm: Communicator, left_path: str, right_path: str) -> int:
+        """Total number of join pairs across all ranks (allreduce)."""
+        from ..mpisim import ops
+
+        local = self.run(comm, left_path, right_path)
+        return comm.allreduce(len(local.local_results), ops.SUM)

@@ -1,0 +1,133 @@
+"""Batch range (window) queries.
+
+"For spatial query workload, the second collection can be treated as
+geometries from batch query" (§4.3): the query rectangles are simply the
+second layer of the filter-and-refine framework, so the same partitioning and
+exchange machinery applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..geometry import Envelope, Geometry, Polygon, predicates
+from ..index import GridCell, STRtree
+from ..mpisim import Communicator
+from ..pfs import SimulatedFilesystem
+from .framework import SpatialComputation
+from .grid_partition import GridPartitionConfig
+from .join import _reference_point
+from .partition import PartitionConfig
+
+__all__ = ["QueryMatch", "RangeQuery"]
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One (query window, matching geometry) result."""
+
+    query_id: Any
+    geometry: Geometry
+    cell_id: int
+
+
+class RangeQuery(SpatialComputation):
+    """Distributed batch range query over one data layer.
+
+    The query batch is supplied in memory (a list of envelopes) rather than as
+    a file; every rank contributes the slice of the batch it was handed and
+    the framework redistributes the query windows alongside the data, exactly
+    like a second dataset.
+    """
+
+    refine_category = "query"
+
+    def __init__(
+        self,
+        fs: SimulatedFilesystem,
+        queries: Sequence[Tuple[Any, Envelope]],
+        partition_config: Optional[PartitionConfig] = None,
+        grid_config: Optional[GridPartitionConfig] = None,
+        strategy: str = "message",
+        deduplicate: bool = True,
+    ) -> None:
+        super().__init__(fs, partition_config, grid_config, strategy)
+        self.queries = list(queries)
+        self.deduplicate = deduplicate
+
+    # ------------------------------------------------------------------ #
+    def refine(
+        self,
+        cell: GridCell,
+        left: Sequence[Geometry],
+        right: Sequence[Geometry],
+    ) -> List[QueryMatch]:
+        if not left or not right:
+            return []
+        tree: STRtree = STRtree((g.envelope, g) for g in left)
+        matches: List[QueryMatch] = []
+        for window in right:
+            wenv = window.envelope
+            for geom in tree.query(wenv):
+                if self.deduplicate:
+                    ref = _reference_point(wenv, geom.envelope)
+                    if not cell.envelope.contains_point(*ref):
+                        continue
+                if predicates.intersects(window, geom):
+                    matches.append(
+                        QueryMatch(query_id=window.userdata, geometry=geom, cell_id=cell.cell_id)
+                    )
+        return matches
+
+    # ------------------------------------------------------------------ #
+    def execute(self, comm: Communicator, data_path: str) -> List[QueryMatch]:
+        """Run the batch query; every rank returns the matches of its cells."""
+        # Convert the batch to polygon geometries carrying the query id, and
+        # hand an equal slice to every rank (the framework redistributes them).
+        my_slice = [
+            Polygon.from_envelope(env, userdata=qid)
+            for i, (qid, env) in enumerate(self.queries)
+            if i % comm.size == comm.rank
+        ]
+        return self._run_with_batch(comm, data_path, my_slice)
+
+    def _run_with_batch(
+        self, comm: Communicator, data_path: str, batch: List[Polygon]
+    ) -> List[QueryMatch]:
+        from .exchange import exchange_cells
+        from .grid_partition import (
+            assign_to_cells,
+            build_grid,
+            cell_mapping,
+            cell_rtree,
+            compute_global_extent,
+        )
+        from .reader import VectorIO
+
+        vio = VectorIO(self.fs, self.partition_config, self.strategy)
+        data_report = vio.read_geometries(comm, data_path, self.parser())
+        data_geoms = data_report.geometries
+
+        extent = compute_global_extent(comm, list(data_geoms) + list(batch))
+        if extent.is_empty:
+            return []
+        grid = build_grid(extent, self.grid_config.num_cells)
+        mapping = cell_mapping(grid, comm.size, self.grid_config.mapping)
+
+        with comm.clock.compute(category="partition"):
+            tree = cell_rtree(grid)
+            data_cells = assign_to_cells(grid, data_geoms, tree)
+            query_cells = assign_to_cells(grid, batch, tree)
+
+        owned_data = exchange_cells(comm, data_cells, mapping)
+        owned_queries = exchange_cells(comm, query_cells, mapping)
+
+        matches: List[QueryMatch] = []
+        with comm.clock.compute(category="refine"):
+            for cell_id in sorted(set(owned_data) | set(owned_queries)):
+                cell = grid.cell_by_id(cell_id)
+                matches.extend(
+                    self.refine(cell, owned_data.get(cell_id, []), owned_queries.get(cell_id, []))
+                )
+        return matches

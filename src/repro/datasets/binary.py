@@ -1,0 +1,106 @@
+"""Binary fixed-record datasets (points and MBRs).
+
+§4.1: "Unlike polygons that vary in length, spatial types like points, lines,
+and MBRs have fixed length.  Files containing these special types are
+preprocessed and stored in binary as basic or struct type."  These are the
+files used by the MPI-derived-datatype experiments (Figures 12 and 15) and by
+spatial index files that need frequent, regular access.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry import Envelope
+from ..pfs import SimulatedFilesystem, StripeLayout
+
+__all__ = [
+    "MBR_RECORD_FLOAT32",
+    "MBR_RECORD_FLOAT64",
+    "POINT_RECORD_FLOAT64",
+    "write_mbr_file",
+    "write_point_file",
+    "read_mbr_records",
+    "read_point_records",
+    "random_envelopes",
+]
+
+#: an MBR record of 4 single-precision floats (Figure 12 / 15's record)
+MBR_RECORD_FLOAT32 = struct.Struct("<4f")
+#: an MBR record of 4 doubles (matches the MPI_RECT spatial datatype)
+MBR_RECORD_FLOAT64 = struct.Struct("<4d")
+#: a point record of 2 doubles (matches MPI_POINT)
+POINT_RECORD_FLOAT64 = struct.Struct("<2d")
+
+
+def random_envelopes(
+    count: int,
+    extent: Envelope = Envelope(-180.0, -90.0, 180.0, 90.0),
+    max_size_fraction: float = 0.01,
+    seed: int = 7,
+) -> List[Envelope]:
+    """Uniformly placed random rectangles (the Reduce/Scan benchmark input)."""
+    rng = random.Random(seed)
+    out: List[Envelope] = []
+    wx = extent.width * max_size_fraction
+    wy = extent.height * max_size_fraction
+    for _ in range(count):
+        x = rng.uniform(extent.minx, extent.maxx - wx)
+        y = rng.uniform(extent.miny, extent.maxy - wy)
+        w = rng.uniform(0.0, wx)
+        h = rng.uniform(0.0, wy)
+        out.append(Envelope(x, y, x + w, y + h))
+    return out
+
+
+def write_mbr_file(
+    fs: SimulatedFilesystem,
+    path: str,
+    envelopes: Iterable[Envelope],
+    precision: str = "float32",
+    layout: Optional[StripeLayout] = None,
+) -> int:
+    """Write envelopes as fixed binary records; returns the record count."""
+    record = MBR_RECORD_FLOAT32 if precision == "float32" else MBR_RECORD_FLOAT64
+    out = bytearray()
+    count = 0
+    for env in envelopes:
+        out += record.pack(*env.as_tuple())
+        count += 1
+    fs.create_file(path, bytes(out), layout=layout)
+    return count
+
+
+def write_point_file(
+    fs: SimulatedFilesystem,
+    path: str,
+    points: Iterable[Tuple[float, float]],
+    layout: Optional[StripeLayout] = None,
+) -> int:
+    """Write (x, y) pairs as fixed binary records; returns the record count."""
+    out = bytearray()
+    count = 0
+    for x, y in points:
+        out += POINT_RECORD_FLOAT64.pack(x, y)
+        count += 1
+    fs.create_file(path, bytes(out), layout=layout)
+    return count
+
+
+def read_mbr_records(data: bytes, precision: str = "float32") -> List[Envelope]:
+    """Decode packed MBR records back into envelopes."""
+    record = MBR_RECORD_FLOAT32 if precision == "float32" else MBR_RECORD_FLOAT64
+    if len(data) % record.size != 0:
+        raise ValueError("byte string is not a whole number of MBR records")
+    return [Envelope(*record.unpack_from(data, i)) for i in range(0, len(data), record.size)]
+
+
+def read_point_records(data: bytes) -> np.ndarray:
+    """Decode packed point records into an ``(n, 2)`` float64 array."""
+    if len(data) % POINT_RECORD_FLOAT64.size != 0:
+        raise ValueError("byte string is not a whole number of point records")
+    return np.frombuffer(data, dtype=np.float64).reshape(-1, 2).copy()

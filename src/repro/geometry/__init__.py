@@ -1,0 +1,37 @@
+"""Geometry engine (GEOS substitute).
+
+Public API::
+
+    from repro.geometry import Point, LineString, Polygon, Envelope, wkt
+
+    poly = wkt.loads("POLYGON ((30 10, 40 40, 20 40, 30 10))")
+    poly.envelope          # -> Envelope(20, 10, 40, 40)
+    poly.intersects(other) # exact refine-phase predicate
+"""
+
+from . import algorithms, predicates, wkb, wkt
+from .base import Geometry
+from .envelope import Envelope
+from .linestring import LinearRing, LineString
+from .multi import GeometryCollection, MultiLineString, MultiPoint, MultiPolygon
+from .point import Point
+from .polygon import Polygon
+from .wkt import WKTParseError
+
+__all__ = [
+    "Geometry",
+    "Envelope",
+    "Point",
+    "LineString",
+    "LinearRing",
+    "Polygon",
+    "MultiPoint",
+    "MultiLineString",
+    "MultiPolygon",
+    "GeometryCollection",
+    "WKTParseError",
+    "algorithms",
+    "predicates",
+    "wkt",
+    "wkb",
+]

@@ -1,0 +1,281 @@
+"""Well-Known Text (WKT) reader and writer.
+
+WKT is the paper's primary on-disk format: one geometry per line (optionally
+followed by tab-separated attributes), e.g.::
+
+    POLYGON ((30 10, 40 40, 20 40, 30 10))
+
+The parser is a hand-written tokenizer + recursive-descent reader covering the
+OGC types the paper mentions (POINT, LINESTRING, POLYGON, MULTIPOINT,
+MULTILINESTRING, MULTIPOLYGON, GEOMETRYCOLLECTION) plus EMPTY geometries.  It
+is deliberately tolerant of surrounding whitespace and attribute suffixes so
+that raw dataset lines can be fed in directly — that mirrors the paper's
+"collection of strings" parsing interface.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .base import Geometry
+from .linestring import LineString
+from .multi import GeometryCollection, MultiLineString, MultiPoint, MultiPolygon
+from .point import Point
+from .polygon import Polygon
+
+Coord = Tuple[float, float]
+
+__all__ = [
+    "WKTParseError",
+    "loads",
+    "dumps",
+    "parse_wkt",
+    "format_coord",
+    "format_coords",
+]
+
+
+class WKTParseError(ValueError):
+    """Raised when a WKT string cannot be parsed."""
+
+
+# --------------------------------------------------------------------------- #
+# formatting (dumps)
+# --------------------------------------------------------------------------- #
+def _fmt_number(v: float) -> str:
+    """Format a coordinate value without trailing zeros (``30.0`` → ``30``)."""
+    if v == int(v) and abs(v) < 1e16:
+        return str(int(v))
+    return repr(v)
+
+
+def format_coord(coord: Coord) -> str:
+    """``(x, y)`` → ``"x y"``."""
+    return f"{_fmt_number(coord[0])} {_fmt_number(coord[1])}"
+
+
+def format_coords(coords: Sequence[Coord]) -> str:
+    """Coordinate list → ``"x1 y1, x2 y2, ..."``."""
+    return ", ".join(format_coord(c) for c in coords)
+
+
+def dumps(geom: Geometry) -> str:
+    """Serialise a geometry to WKT (delegates to the geometry's own writer)."""
+    return geom.wkt()
+
+
+# --------------------------------------------------------------------------- #
+# parsing (loads)
+# --------------------------------------------------------------------------- #
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<word>[A-Za-z]+)
+    | (?P<number>[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?)
+    | (?P<lparen>\()
+    | (?P<rparen>\))
+    | (?P<comma>,)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Tokenizer:
+    """Streams WKT tokens; stops cleanly at trailing attribute text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self._peeked: Optional[Tuple[str, str]] = None
+
+    def _scan(self) -> Optional[Tuple[str, str]]:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+        if self.pos >= len(self.text):
+            return None
+        m = _TOKEN_RE.match(self.text, self.pos)
+        if m is None:
+            return None
+        self.pos = m.end()
+        kind = m.lastgroup or ""
+        return (kind, m.group())
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._peeked is None:
+            self._peeked = self._scan()
+        return self._peeked
+
+    def next(self) -> Optional[Tuple[str, str]]:
+        tok = self.peek()
+        self._peeked = None
+        return tok
+
+    def expect(self, kind: str) -> str:
+        tok = self.next()
+        if tok is None or tok[0] != kind:
+            raise WKTParseError(
+                f"expected {kind} at position {self.pos} of {self.text[:80]!r}, got {tok}"
+            )
+        return tok[1]
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[str]:
+        tok = self.peek()
+        if tok is not None and tok[0] == kind and (value is None or tok[1].upper() == value):
+            self.next()
+            return tok[1]
+        return None
+
+
+def _parse_coord(tz: _Tokenizer) -> Coord:
+    x = float(tz.expect("number"))
+    y = float(tz.expect("number"))
+    # Tolerate (and drop) Z / M ordinates.
+    while True:
+        tok = tz.peek()
+        if tok is not None and tok[0] == "number":
+            tz.next()
+        else:
+            break
+    return (x, y)
+
+
+def _parse_coord_list(tz: _Tokenizer) -> List[Coord]:
+    tz.expect("lparen")
+    coords = [_parse_coord(tz)]
+    while tz.accept("comma"):
+        coords.append(_parse_coord(tz))
+    tz.expect("rparen")
+    return coords
+
+
+def _parse_ring_list(tz: _Tokenizer) -> List[List[Coord]]:
+    tz.expect("lparen")
+    rings = [_parse_coord_list(tz)]
+    while tz.accept("comma"):
+        rings.append(_parse_coord_list(tz))
+    tz.expect("rparen")
+    return rings
+
+
+def _is_empty(tz: _Tokenizer) -> bool:
+    return tz.accept("word", "EMPTY") is not None
+
+
+def _parse_point(tz: _Tokenizer) -> Point:
+    if _is_empty(tz):
+        raise WKTParseError("POINT EMPTY is not supported")
+    tz.expect("lparen")
+    coord = _parse_coord(tz)
+    tz.expect("rparen")
+    return Point(*coord)
+
+
+def _parse_linestring(tz: _Tokenizer) -> LineString:
+    if _is_empty(tz):
+        raise WKTParseError("LINESTRING EMPTY is not supported")
+    return LineString(_parse_coord_list(tz))
+
+
+def _parse_polygon(tz: _Tokenizer) -> Polygon:
+    if _is_empty(tz):
+        raise WKTParseError("POLYGON EMPTY is not supported")
+    rings = _parse_ring_list(tz)
+    return Polygon(rings[0], rings[1:])
+
+
+def _parse_multipoint(tz: _Tokenizer) -> MultiPoint:
+    if _is_empty(tz):
+        return MultiPoint([])
+    tz.expect("lparen")
+    points: List[Point] = []
+    while True:
+        # MULTIPOINT accepts both "(1 2, 3 4)" and "((1 2), (3 4))".
+        if tz.accept("lparen"):
+            coord = _parse_coord(tz)
+            tz.expect("rparen")
+        else:
+            coord = _parse_coord(tz)
+        points.append(Point(*coord))
+        if not tz.accept("comma"):
+            break
+    tz.expect("rparen")
+    return MultiPoint(points)
+
+
+def _parse_multilinestring(tz: _Tokenizer) -> MultiLineString:
+    if _is_empty(tz):
+        return MultiLineString([])
+    lines = [LineString(c) for c in _parse_ring_list(tz)]
+    return MultiLineString(lines)
+
+
+def _parse_multipolygon(tz: _Tokenizer) -> MultiPolygon:
+    if _is_empty(tz):
+        return MultiPolygon([])
+    tz.expect("lparen")
+    polys: List[Polygon] = []
+    while True:
+        rings = _parse_ring_list(tz)
+        polys.append(Polygon(rings[0], rings[1:]))
+        if not tz.accept("comma"):
+            break
+    tz.expect("rparen")
+    return MultiPolygon(polys)
+
+
+def _parse_collection(tz: _Tokenizer) -> GeometryCollection:
+    if _is_empty(tz):
+        return GeometryCollection([])
+    tz.expect("lparen")
+    geoms: List[Geometry] = []
+    while True:
+        geoms.append(_parse_geometry(tz))
+        if not tz.accept("comma"):
+            break
+    tz.expect("rparen")
+    return GeometryCollection(geoms)
+
+
+_PARSERS = {
+    "POINT": _parse_point,
+    "LINESTRING": _parse_linestring,
+    "POLYGON": _parse_polygon,
+    "MULTIPOINT": _parse_multipoint,
+    "MULTILINESTRING": _parse_multilinestring,
+    "MULTIPOLYGON": _parse_multipolygon,
+    "GEOMETRYCOLLECTION": _parse_collection,
+}
+
+
+def _parse_geometry(tz: _Tokenizer) -> Geometry:
+    tok = tz.next()
+    if tok is None or tok[0] != "word":
+        raise WKTParseError(f"expected a geometry tag, got {tok}")
+    tag = tok[1].upper()
+    parser = _PARSERS.get(tag)
+    if parser is None:
+        raise WKTParseError(f"unknown geometry tag {tag!r}")
+    return parser(tz)
+
+
+def loads(text: str, userdata=None) -> Geometry:
+    """Parse a WKT string into a geometry.
+
+    Text after the closing parenthesis (e.g. tab-separated feature
+    attributes on an OSM extract line) is ignored by the geometry parser but,
+    when *userdata* is ``None``, stored in the returned geometry's
+    ``userdata`` attribute so downstream code can keep the attributes around —
+    the same role GEOS userdata plays in the paper.
+    """
+    tz = _Tokenizer(text)
+    geom = _parse_geometry(tz)
+    trailing = text[tz.pos :].strip()
+    if userdata is not None:
+        geom.userdata = userdata
+    elif trailing:
+        geom.userdata = trailing
+    return geom
+
+
+# Friendly alias matching the paper's "parse interface" naming.
+parse_wkt = loads

@@ -1,0 +1,30 @@
+"""Spatial indexes: R-trees, quadtree, uniform grid and space-filling curves."""
+
+from .grid import GridCell, UniformGrid, block_mapping, round_robin_mapping
+from .quadtree import Quadtree
+from .rtree import RTree, RTreeStats, STRtree
+from .sfc import (
+    hilbert_decode,
+    hilbert_encode,
+    sort_by_hilbert,
+    sort_by_zorder,
+    zorder_decode,
+    zorder_encode,
+)
+
+__all__ = [
+    "STRtree",
+    "RTree",
+    "RTreeStats",
+    "Quadtree",
+    "UniformGrid",
+    "GridCell",
+    "round_robin_mapping",
+    "block_mapping",
+    "zorder_encode",
+    "zorder_decode",
+    "hilbert_encode",
+    "hilbert_decode",
+    "sort_by_zorder",
+    "sort_by_hilbert",
+]

@@ -1,0 +1,172 @@
+"""Uniform cell grid.
+
+The paper's spatial partitioning projects every geometry onto a cellular grid
+(Figure 1): a cell is "an abstract type to represent a unit task", a subset of
+cells is assigned to each process, and geometries spanning several cells are
+replicated into each.  :class:`UniformGrid` implements the cell geometry and
+the geometry→cells mapping; the distributed machinery on top of it lives in
+:mod:`repro.core.grid_partition`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..geometry import Envelope
+
+__all__ = ["GridCell", "UniformGrid", "round_robin_mapping", "block_mapping"]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One cell of the uniform grid — the unit task of the system."""
+
+    cell_id: int
+    row: int
+    col: int
+    envelope: Envelope
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GridCell(id={self.cell_id}, row={self.row}, col={self.col})"
+
+
+class UniformGrid:
+    """A ``rows x cols`` uniform grid over a rectangular extent."""
+
+    def __init__(self, extent: Envelope, rows: int, cols: int) -> None:
+        if extent.is_empty:
+            raise ValueError("grid extent must not be empty")
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be >= 1")
+        # Degenerate extents (all geometries on one line or one point) are
+        # padded so every cell keeps a well-formed rectangle.
+        if extent.width == 0 or extent.height == 0:
+            pad = max(extent.width, extent.height, 1.0) * 0.5
+            extent = Envelope(
+                extent.minx - (pad if extent.width == 0 else 0.0),
+                extent.miny - (pad if extent.height == 0 else 0.0),
+                extent.maxx + (pad if extent.width == 0 else 0.0),
+                extent.maxy + (pad if extent.height == 0 else 0.0),
+            )
+        self.extent = extent
+        self.rows = rows
+        self.cols = cols
+        self.cell_width = extent.width / cols
+        self.cell_height = extent.height / rows
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def with_cell_count(extent: Envelope, num_cells: int) -> "UniformGrid":
+        """Build a roughly square grid with approximately *num_cells* cells.
+
+        The paper's experiments sweep the total number of grid cells
+        (Figure 17 uses powers of two up to 2048); this helper picks a
+        rows × cols factorisation close to square.
+        """
+        if num_cells < 1:
+            raise ValueError("num_cells must be >= 1")
+        rows = int(math.sqrt(num_cells))
+        while rows > 1 and num_cells % rows != 0:
+            rows -= 1
+        cols = num_cells // rows
+        return UniformGrid(extent, rows, cols)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.cols
+
+    def __len__(self) -> int:
+        return self.num_cells
+
+    def cell_id(self, row: int, col: int) -> int:
+        """Row-major cell id (the global output ordering used by
+        non-contiguous writes in the paper)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"cell ({row}, {col}) outside grid {self.rows}x{self.cols}")
+        return row * self.cols + col
+
+    def cell(self, row: int, col: int) -> GridCell:
+        minx = self.extent.minx + col * self.cell_width
+        miny = self.extent.miny + row * self.cell_height
+        maxx = self.extent.maxx if col == self.cols - 1 else minx + self.cell_width
+        maxy = self.extent.maxy if row == self.rows - 1 else miny + self.cell_height
+        return GridCell(self.cell_id(row, col), row, col, Envelope(minx, miny, maxx, maxy))
+
+    def cell_by_id(self, cell_id: int) -> GridCell:
+        if not (0 <= cell_id < self.num_cells):
+            raise IndexError(f"cell id {cell_id} outside grid of {self.num_cells} cells")
+        return self.cell(cell_id // self.cols, cell_id % self.cols)
+
+    def cells(self) -> Iterator[GridCell]:
+        for row in range(self.rows):
+            for col in range(self.cols):
+                yield self.cell(row, col)
+
+    # ------------------------------------------------------------------ #
+    def _col_range(self, minx: float, maxx: float) -> Tuple[int, int]:
+        lo = int((minx - self.extent.minx) / self.cell_width)
+        hi = int((maxx - self.extent.minx) / self.cell_width)
+        return (max(0, min(lo, self.cols - 1)), max(0, min(hi, self.cols - 1)))
+
+    def _row_range(self, miny: float, maxy: float) -> Tuple[int, int]:
+        lo = int((miny - self.extent.miny) / self.cell_height)
+        hi = int((maxy - self.extent.miny) / self.cell_height)
+        return (max(0, min(lo, self.rows - 1)), max(0, min(hi, self.rows - 1)))
+
+    def cells_for_envelope(self, env: Envelope) -> List[int]:
+        """Ids of every cell the envelope overlaps (the replication set).
+
+        A geometry spanning multiple cells is "simply replicated to these
+        cells" (paper §4); this is the mapping that drives replication.
+        Envelopes outside the extent are clamped to the nearest boundary
+        cells so no geometry is ever dropped.
+        """
+        if env.is_empty:
+            return []
+        col_lo, col_hi = self._col_range(env.minx, env.maxx)
+        row_lo, row_hi = self._row_range(env.miny, env.maxy)
+        ids: List[int] = []
+        for row in range(row_lo, row_hi + 1):
+            base = row * self.cols
+            for col in range(col_lo, col_hi + 1):
+                ids.append(base + col)
+        return ids
+
+    def cell_for_point(self, x: float, y: float) -> int:
+        """Id of the single cell containing the point (clamped to the extent)."""
+        col_lo, _ = self._col_range(x, x)
+        row_lo, _ = self._row_range(y, y)
+        return row_lo * self.cols + col_lo
+
+    # ------------------------------------------------------------------ #
+    def histogram(self, envelopes: Iterable[Envelope]) -> Dict[int, int]:
+        """Number of (replicated) geometries per cell — the load map used to
+        reason about load balance in the evaluation."""
+        counts: Dict[int, int] = {}
+        for env in envelopes:
+            for cid in self.cells_for_envelope(env):
+                counts[cid] = counts.get(cid, 0) + 1
+        return counts
+
+
+# --------------------------------------------------------------------------- #
+# cell → rank mappings
+# --------------------------------------------------------------------------- #
+def round_robin_mapping(num_cells: int, num_ranks: int) -> Dict[int, int]:
+    """The paper's default declustering mapping: cell *i* goes to rank
+    ``i % num_ranks``."""
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be >= 1")
+    return {cid: cid % num_ranks for cid in range(num_cells)}
+
+
+def block_mapping(num_cells: int, num_ranks: int) -> Dict[int, int]:
+    """Contiguous block assignment (coarse-grained alternative used to show
+    the load-imbalance effect of Figure 5a)."""
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be >= 1")
+    per_rank = math.ceil(num_cells / num_ranks)
+    return {cid: min(cid // per_rank, num_ranks - 1) for cid in range(num_cells)}

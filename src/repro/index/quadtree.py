@@ -1,0 +1,140 @@
+"""Region quadtree index.
+
+GEOS provides both an STRtree and a Quadtree; the paper lists the quadtree as
+one of the spatial data structures the library exposes to applications, so the
+reproduction offers it as an alternative per-cell filter index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+from ..geometry import Envelope
+
+T = TypeVar("T")
+
+__all__ = ["Quadtree"]
+
+
+class _QuadNode:
+    __slots__ = ("envelope", "items", "children", "depth")
+
+    def __init__(self, envelope: Envelope, depth: int) -> None:
+        self.envelope = envelope
+        self.items: List[Tuple[Envelope, Any]] = []
+        self.children: Optional[List["_QuadNode"]] = None
+        self.depth = depth
+
+
+class Quadtree(Generic[T]):
+    """A loose region quadtree.
+
+    Items whose envelope straddles a split line are kept at the internal node
+    (classic GEOS-style quadtree behaviour) so every item lives in exactly one
+    node and queries never miss.
+    """
+
+    def __init__(
+        self,
+        extent: Envelope,
+        max_items: int = 16,
+        max_depth: int = 12,
+    ) -> None:
+        if extent.is_empty:
+            raise ValueError("quadtree extent must not be empty")
+        if max_items < 1:
+            raise ValueError("max_items must be >= 1")
+        self.extent = extent
+        self.max_items = max_items
+        self.max_depth = max_depth
+        self._root = _QuadNode(extent, depth=0)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    def insert(self, envelope: Envelope, payload: T) -> None:
+        """Insert one item.  Envelopes outside the extent are clamped into it
+        (they are kept at the root) rather than rejected, because skewed real
+        data routinely has a handful of outliers."""
+        if envelope.is_empty:
+            raise ValueError("cannot index an empty envelope")
+        self._insert(self._root, envelope, payload)
+        self._size += 1
+
+    def extend(self, items: Iterable[Tuple[Envelope, T]]) -> None:
+        for env, payload in items:
+            self.insert(env, payload)
+
+    def _insert(self, node: _QuadNode, env: Envelope, payload: T) -> None:
+        while True:
+            if node.children is not None:
+                child = self._child_containing(node, env)
+                if child is not None:
+                    node = child
+                    continue
+                node.items.append((env, payload))
+                return
+            node.items.append((env, payload))
+            if len(node.items) > self.max_items and node.depth < self.max_depth:
+                self._subdivide(node)
+            return
+
+    def _subdivide(self, node: _QuadNode) -> None:
+        minx, miny, maxx, maxy = node.envelope.as_tuple()
+        midx, midy = (minx + maxx) / 2.0, (miny + maxy) / 2.0
+        node.children = [
+            _QuadNode(Envelope(minx, miny, midx, midy), node.depth + 1),
+            _QuadNode(Envelope(midx, miny, maxx, midy), node.depth + 1),
+            _QuadNode(Envelope(minx, midy, midx, maxy), node.depth + 1),
+            _QuadNode(Envelope(midx, midy, maxx, maxy), node.depth + 1),
+        ]
+        keep: List[Tuple[Envelope, Any]] = []
+        for env, payload in node.items:
+            child = self._child_containing(node, env)
+            if child is None:
+                keep.append((env, payload))
+            else:
+                self._insert(child, env, payload)
+        node.items = keep
+
+    @staticmethod
+    def _child_containing(node: _QuadNode, env: Envelope) -> Optional[_QuadNode]:
+        assert node.children is not None
+        for child in node.children:
+            if child.envelope.contains(env):
+                return child
+        return None
+
+    # ------------------------------------------------------------------ #
+    def query(self, search: Envelope) -> List[T]:
+        """All payloads whose envelope intersects *search*."""
+        results: List[T] = []
+        if search.is_empty:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.envelope.intersects(search) and node is not self._root:
+                continue
+            for env, payload in node.items:
+                if env.intersects(search):
+                    results.append(payload)
+            if node.children is not None:
+                stack.extend(node.children)
+        return results
+
+    def query_point(self, x: float, y: float) -> List[T]:
+        return self.query(Envelope.of_point(x, y))
+
+    def depth(self) -> int:
+        """Maximum node depth currently in use."""
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            best = max(best, node.depth)
+            if node.children is not None:
+                stack.extend(node.children)
+        return best

@@ -1,0 +1,15 @@
+"""MPI-IO layer over the simulated parallel filesystems."""
+
+from .file import MAX_IO_BYTES, File
+from .hints import DEFAULT_CB_BUFFER_SIZE, Info
+from .twophase import CollectivePlan, collective_read_time, plan_collective_read
+
+__all__ = [
+    "File",
+    "MAX_IO_BYTES",
+    "Info",
+    "DEFAULT_CB_BUFFER_SIZE",
+    "CollectivePlan",
+    "collective_read_time",
+    "plan_collective_read",
+]

@@ -1,0 +1,25 @@
+"""Exception types for the simulated MPI runtime."""
+
+from __future__ import annotations
+
+__all__ = ["MPIError", "MPIAbortError", "CountLimitError"]
+
+
+class MPIError(RuntimeError):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class MPIAbortError(MPIError):
+    """Raised in every rank when one rank fails (mirrors ``MPI_Abort``).
+
+    The original exception is attached as ``__cause__`` on the failing rank;
+    other ranks blocked in communication calls are woken up with this error so
+    an SPMD program can never deadlock on a peer that has already died.
+    """
+
+
+class CountLimitError(MPIError):
+    """Raised when a single I/O or communication call exceeds the 2 GB
+    (signed 32-bit element count) ROMIO limitation described in §3 of the
+    paper.  The reproduction enforces the same limit so that the block-size
+    handling code paths stay honest."""

@@ -1,0 +1,116 @@
+"""SPMD launcher for the simulated MPI runtime.
+
+:func:`run_spmd` is the reproduction's ``mpiexec``: it spawns one Python
+thread per rank, hands each a rank-bound
+:class:`~repro.mpisim.comm.Communicator`, runs the same function everywhere
+and returns the per-rank results (plus the per-rank virtual clocks, for the
+benchmarks).
+
+Threads give correct message-passing semantics on a single core; performance
+numbers come from the virtual clocks, not from wall time, so the GIL is not a
+problem.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .clock import CommCostModel, VirtualClock
+from .comm import Communicator
+from .errors import MPIAbortError, MPIError
+from .world import World
+
+__all__ = ["run_spmd", "SPMDResult"]
+
+
+@dataclass
+class SPMDResult:
+    """Outcome of one SPMD run."""
+
+    #: per-rank return values of the target function
+    values: List[Any]
+    #: per-rank virtual clocks (simulated time and per-category breakdown)
+    clocks: List[VirtualClock]
+    #: the world object (gives access to shared state such as the filesystem)
+    world: World
+
+    @property
+    def max_time(self) -> float:
+        """Simulated makespan — the per-phase maxima the paper plots are
+        derived from the same idea."""
+        return max((c.now for c in self.clocks), default=0.0)
+
+    def max_category(self, name: str) -> float:
+        """Maximum simulated seconds any rank charged to *name*."""
+        return max((c.category(name) for c in self.clocks), default=0.0)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-category maxima over ranks (matches the stacked bars of the
+        paper's Figures 17–20, where "the maximum time among all processes for
+        each phase" is reported)."""
+        categories = set()
+        for c in self.clocks:
+            categories.update(c.breakdown)
+        return {name: self.max_category(name) for name in sorted(categories)}
+
+
+def run_spmd(
+    target: Callable[..., Any],
+    nprocs: int,
+    *args: Any,
+    cost_model: Optional[CommCostModel] = None,
+    compute_scale: float = 1.0,
+    shared: Optional[Dict[str, Any]] = None,
+    timeout: Optional[float] = 300.0,
+    **kwargs: Any,
+) -> SPMDResult:
+    """Run ``target(comm, *args, **kwargs)`` on *nprocs* simulated ranks.
+
+    Any exception raised by a rank aborts the whole world (all other ranks
+    blocked in communication are woken with :class:`MPIAbortError`) and the
+    original exception is re-raised here, so test failures surface directly.
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    world = World(nprocs, cost_model=cost_model, compute_scale=compute_scale)
+    if shared:
+        world.shared.update(shared)
+
+    results: List[Any] = [None] * nprocs
+    errors: List[Optional[BaseException]] = [None] * nprocs
+
+    def entry(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = target(comm, *args, **kwargs)
+        except MPIAbortError as exc:  # peer failed; not this rank's fault
+            errors[rank] = exc
+        except BaseException as exc:  # noqa: BLE001 - must propagate everything
+            errors[rank] = exc
+            world.abort(exc, rank)
+
+    threads = [
+        threading.Thread(target=entry, args=(rank,), name=f"mpisim-rank-{rank}", daemon=True)
+        for rank in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            exc = MPIError(f"simulated rank {t.name} did not finish within {timeout}s (deadlock?)")
+            world.abort(exc, -1)
+            t.join(timeout=5.0)
+            raise exc
+
+    # Prefer reporting the root cause over the secondary abort errors.
+    primary = world.abort_exception
+    if primary is not None:
+        raise primary
+    for exc in errors:
+        if exc is not None:
+            raise exc
+
+    return SPMDResult(values=results, clocks=world.clocks, world=world)

@@ -1,0 +1,205 @@
+"""Shared state backing a simulated MPI world.
+
+A :class:`World` owns the per-rank mailboxes, the collective-exchange engine,
+the per-rank virtual clocks and the abort machinery.  Rank-bound
+:class:`~repro.mpisim.comm.Communicator` objects are thin views over it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from .clock import CommCostModel, VirtualClock
+from .errors import MPIAbortError
+
+__all__ = ["World", "payload_nbytes"]
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a Python payload in bytes.
+
+    Buffer-like objects report their true size; other objects fall back to the
+    pickled length, mirroring mpi4py's object protocol.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, (int, float)):
+        return int(nbytes)
+    if isinstance(obj, (int, float, bool)):
+        return 8
+    if isinstance(obj, (list, tuple)) and len(obj) <= 64:
+        return sum(payload_nbytes(x) for x in obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64
+
+
+class _Message:
+    __slots__ = ("source", "tag", "payload", "arrival_time", "nbytes")
+
+    def __init__(self, source: int, tag: int, payload: Any, arrival_time: float, nbytes: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+        self.arrival_time = arrival_time
+        self.nbytes = nbytes
+
+
+class _Mailbox:
+    """Per-rank incoming message queue with tag/source matching."""
+
+    def __init__(self, world: "World") -> None:
+        self._world = world
+        self._messages: List[_Message] = []
+        self._cond = threading.Condition()
+
+    def deliver(self, msg: _Message) -> None:
+        with self._cond:
+            self._messages.append(msg)
+            self._cond.notify_all()
+
+    def wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def _match(self, source: int, tag: int) -> Optional[int]:
+        for i, msg in enumerate(self._messages):
+            if (source == -1 or msg.source == source) and (tag == -1 or msg.tag == tag):
+                return i
+        return None
+
+    def take(self, source: int, tag: int) -> _Message:
+        """Block until a matching message arrives, then remove and return it."""
+        with self._cond:
+            while True:
+                self._world.check_abort()
+                idx = self._match(source, tag)
+                if idx is not None:
+                    return self._messages.pop(idx)
+                self._cond.wait(timeout=0.2)
+
+    def peek(self, source: int, tag: int) -> _Message:
+        """Block until a matching message arrives and return it without removing."""
+        with self._cond:
+            while True:
+                self._world.check_abort()
+                idx = self._match(source, tag)
+                if idx is not None:
+                    return self._messages[idx]
+                self._cond.wait(timeout=0.2)
+
+
+class _CollectiveEngine:
+    """Generation-counted rendezvous used to implement every collective.
+
+    All ranks of a communicator call :meth:`exchange` in the same program
+    order (the SPMD contract); each call gathers one value from every rank and
+    returns the full list to all of them.
+    """
+
+    def __init__(self, world: "World", nranks: int) -> None:
+        self._world = world
+        self._nranks = nranks
+        self._cond = threading.Condition()
+        self._generation = 0
+        self._arrived = 0
+        self._slots: List[Any] = [None] * nranks
+        self._results: Dict[int, List[Any]] = {}
+        self._readers_left: Dict[int, int] = {}
+
+    def wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def exchange(self, index: int, value: Any) -> List[Any]:
+        with self._cond:
+            gen = self._generation
+            self._slots[index] = value
+            self._arrived += 1
+            if self._arrived == self._nranks:
+                self._results[gen] = list(self._slots)
+                self._readers_left[gen] = self._nranks
+                self._slots = [None] * self._nranks
+                self._arrived = 0
+                self._generation += 1
+                self._cond.notify_all()
+            else:
+                while gen not in self._results:
+                    self._world.check_abort()
+                    self._cond.wait(timeout=0.2)
+            result = self._results[gen]
+            self._readers_left[gen] -= 1
+            if self._readers_left[gen] == 0:
+                del self._results[gen]
+                del self._readers_left[gen]
+            return result
+
+
+class World:
+    """All shared state for one simulated MPI execution."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        cost_model: Optional[CommCostModel] = None,
+        compute_scale: float = 1.0,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self.cost_model = cost_model or CommCostModel()
+        self.clocks = [VirtualClock(compute_scale=compute_scale) for _ in range(nprocs)]
+        self.mailboxes = [_Mailbox(self) for _ in range(nprocs)]
+        self._engines: Dict[int, _CollectiveEngine] = {}
+        self._engines_lock = threading.Lock()
+        self._abort_exc: Optional[BaseException] = None
+        self._abort_rank: Optional[int] = None
+        #: arbitrary per-run shared objects (e.g. the simulated filesystem)
+        self.shared: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    def engine(self, comm_id: int, nranks: int) -> _CollectiveEngine:
+        """Collective engine for the communicator *comm_id* (created lazily)."""
+        with self._engines_lock:
+            eng = self._engines.get(comm_id)
+            if eng is None:
+                eng = _CollectiveEngine(self, nranks)
+                self._engines[comm_id] = eng
+            return eng
+
+    # ------------------------------------------------------------------ #
+    # abort machinery
+    # ------------------------------------------------------------------ #
+    def abort(self, exc: BaseException, rank: int) -> None:
+        """Record a failure and wake every blocked rank."""
+        if self._abort_exc is None:
+            self._abort_exc = exc
+            self._abort_rank = rank
+        for mbox in self.mailboxes:
+            mbox.wake()
+        with self._engines_lock:
+            engines = list(self._engines.values())
+        for eng in engines:
+            eng.wake()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort_exc is not None
+
+    @property
+    def abort_exception(self) -> Optional[BaseException]:
+        return self._abort_exc
+
+    def check_abort(self) -> None:
+        if self._abort_exc is not None:
+            raise MPIAbortError(
+                f"rank {self._abort_rank} failed: {self._abort_exc!r}"
+            ) from self._abort_exc

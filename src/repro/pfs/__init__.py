@@ -1,0 +1,21 @@
+"""Simulated parallel filesystems (Lustre-like and GPFS-like) with explicit
+I/O cost models."""
+
+from .costmodel import ClusterConfig, IOCostModel, ReadRequest, romio_lustre_readers
+from .filesystem import FileHandle, SimulatedFilesystem
+from .gpfs import GPFSFilesystem
+from .lustre import LustreFilesystem
+from .striping import OSTLoad, StripeLayout
+
+__all__ = [
+    "StripeLayout",
+    "OSTLoad",
+    "ClusterConfig",
+    "IOCostModel",
+    "ReadRequest",
+    "romio_lustre_readers",
+    "SimulatedFilesystem",
+    "FileHandle",
+    "LustreFilesystem",
+    "GPFSFilesystem",
+]

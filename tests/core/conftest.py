@@ -1,0 +1,25 @@
+"""Shared fixtures for the MPI-Vector-IO core tests."""
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.pfs import GPFSFilesystem, LustreFilesystem
+
+
+@pytest.fixture
+def lustre(tmp_path):
+    return LustreFilesystem(tmp_path / "lustre")
+
+
+@pytest.fixture
+def gpfs(tmp_path):
+    return GPFSFilesystem(tmp_path / "gpfs")
+
+
+@pytest.fixture
+def small_datasets(lustre):
+    """A pair of small OSM-like layers registered on the Lustre model."""
+    cfg = SyntheticConfig(seed=42, clusters=4)
+    lakes = generate_dataset(lustre, "lakes", scale=0.05, config=cfg)
+    cemetery = generate_dataset(lustre, "cemetery", scale=0.25, config=cfg)
+    return {"lakes": lakes, "cemetery": cemetery, "fs": lustre}

@@ -1,0 +1,207 @@
+"""Predicate (refine-phase kernel) tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import LineString, Point, Polygon, predicates, wkt
+from repro.geometry.algorithms import (
+    convex_hull,
+    point_in_ring,
+    ring_area,
+    ring_is_ccw,
+    segment_intersection_point,
+    segments_intersect,
+)
+
+
+class TestSegmentAlgorithms:
+    def test_crossing_segments(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_touching_at_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_intersection_point(self):
+        pt = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert pt == pytest.approx((1, 1))
+
+    def test_intersection_point_none_when_disjoint(self):
+        assert segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+
+class TestRingAlgorithms:
+    SQUARE = [(0, 0), (4, 0), (4, 4), (0, 4), (0, 0)]
+
+    def test_point_inside(self):
+        assert point_in_ring((2, 2), self.SQUARE)
+
+    def test_point_outside(self):
+        assert not point_in_ring((5, 2), self.SQUARE)
+
+    def test_point_on_boundary(self):
+        assert point_in_ring((0, 2), self.SQUARE)
+        assert point_in_ring((4, 4), self.SQUARE)
+
+    def test_area(self):
+        assert ring_area(self.SQUARE) == 16.0
+
+    def test_ccw_detection(self):
+        assert ring_is_ccw(self.SQUARE)
+        assert not ring_is_ccw(list(reversed(self.SQUARE)))
+
+    def test_convex_hull(self):
+        pts = [(0, 0), (4, 0), (4, 4), (0, 4), (2, 2), (1, 1)]
+        hull = convex_hull(pts)
+        assert set(hull) == {(0, 0), (4, 0), (4, 4), (0, 4)}
+
+
+class TestIntersects:
+    def test_point_in_polygon(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert poly.intersects(Point(5, 5))
+        assert not poly.intersects(Point(15, 5))
+
+    def test_point_in_polygon_hole(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]]
+        )
+        assert not poly.intersects(Point(5, 5))
+        assert poly.intersects(Point(1, 1))
+        assert poly.intersects(Point(3, 5))  # on the hole boundary
+
+    def test_polygon_polygon_overlap(self):
+        a = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        b = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_polygon_polygon_disjoint(self):
+        a = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        b = Polygon([(10, 10), (12, 10), (12, 12), (10, 12)])
+        assert not a.intersects(b)
+
+    def test_polygon_containing_polygon(self):
+        outer = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        inner = Polygon([(2, 2), (3, 2), (3, 3), (2, 3)])
+        assert outer.intersects(inner)
+
+    def test_polygon_crossing_edges_no_vertex_inside(self):
+        # Plus-sign configuration: rectangles cross but neither holds a vertex
+        # of the other.
+        a = Polygon([(-5, -1), (5, -1), (5, 1), (-5, 1)])
+        b = Polygon([(-1, -5), (1, -5), (1, 5), (-1, 5)])
+        assert a.intersects(b)
+
+    def test_linestring_polygon(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        crossing = LineString([(-5, 5), (15, 5)])
+        outside = LineString([(-5, -5), (-1, -1)])
+        assert poly.intersects(crossing)
+        assert crossing.intersects(poly)
+        assert not poly.intersects(outside)
+
+    def test_linestring_linestring(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        c = LineString([(20, 20), (30, 30)])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_multipolygon_member_dispatch(self):
+        mp = wkt.loads("MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)), ((10 10, 12 10, 12 12, 10 12, 10 10)))")
+        assert mp.intersects(Point(1, 1))
+        assert mp.intersects(Point(11, 11))
+        assert not mp.intersects(Point(5, 5))
+
+    def test_rivers_cities_example(self):
+        """The paper's motivating join example: rivers (lines) × cities (polygons)."""
+        river = wkt.loads("LINESTRING (0 0, 5 5, 10 5, 20 15)")
+        city_a = wkt.loads("POLYGON ((4 4, 8 4, 8 8, 4 8, 4 4))")
+        city_b = wkt.loads("POLYGON ((30 30, 32 30, 32 32, 30 32, 30 30))")
+        assert river.intersects(city_a)
+        assert not river.intersects(city_b)
+
+
+class TestContains:
+    def test_polygon_contains_point(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert poly.contains(Point(5, 5))
+        assert not poly.contains(Point(50, 5))
+
+    def test_polygon_contains_polygon(self):
+        outer = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        inner = Polygon([(2, 2), (3, 2), (3, 3), (2, 3)])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_polygon_not_contains_overlapping(self):
+        a = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        b = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        assert not a.contains(b)
+
+    def test_within_is_converse(self):
+        outer = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        inner = Polygon([(2, 2), (3, 2), (3, 3), (2, 3)])
+        assert inner.within(outer)
+
+
+class TestDistance:
+    def test_point_point(self):
+        assert Point(0, 0).distance(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_intersecting_is_zero(self):
+        a = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        b = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        assert a.distance(b) == 0.0
+
+    def test_point_polygon(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert Point(8, 0).distance(poly) == pytest.approx(4.0)
+
+    def test_symmetry(self):
+        a = LineString([(0, 0), (1, 0)])
+        b = Polygon([(5, 0), (6, 0), (6, 1), (5, 1)])
+        assert a.distance(b) == pytest.approx(b.distance(a))
+
+
+class TestFilterRefineConsistency:
+    """The envelope filter must never reject a truly intersecting pair."""
+
+    boxes = st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=0.1, max_value=50, allow_nan=False),
+        st.floats(min_value=0.1, max_value=50, allow_nan=False),
+    )
+
+    @staticmethod
+    def _make_box(spec):
+        x, y, w, h = spec
+        return Polygon([(x, y), (x + w, y), (x + w, y + h), (x, y + h)])
+
+    @given(boxes, boxes)
+    def test_exact_intersection_implies_envelope_intersection(self, s1, s2):
+        a, b = self._make_box(s1), self._make_box(s2)
+        if predicates.intersects(a, b):
+            assert predicates.envelope_intersects(a, b)
+
+    @given(boxes, boxes)
+    def test_axis_aligned_boxes_envelope_equals_exact(self, s1, s2):
+        # For axis-aligned rectangles the two tests must agree exactly.
+        a, b = self._make_box(s1), self._make_box(s2)
+        assert predicates.intersects(a, b) == predicates.envelope_intersects(a, b)
+
+    @given(boxes, boxes)
+    def test_intersects_is_symmetric(self, s1, s2):
+        a, b = self._make_box(s1), self._make_box(s2)
+        assert predicates.intersects(a, b) == predicates.intersects(b, a)

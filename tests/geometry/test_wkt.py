@@ -1,0 +1,175 @@
+"""WKT parser / writer tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    WKTParseError,
+    wkt,
+)
+
+coord = st.tuples(
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestParsePoint:
+    def test_simple(self):
+        p = wkt.loads("POINT (30 10)")
+        assert isinstance(p, Point)
+        assert (p.x, p.y) == (30, 10)
+
+    def test_negative_and_float(self):
+        p = wkt.loads("POINT (-30.5 1.25e2)")
+        assert (p.x, p.y) == (-30.5, 125.0)
+
+    def test_lowercase_tag(self):
+        assert isinstance(wkt.loads("point (1 2)"), Point)
+
+    def test_extra_whitespace(self):
+        assert isinstance(wkt.loads("  POINT   (  1   2 ) "), Point)
+
+    def test_z_ordinate_dropped(self):
+        p = wkt.loads("POINT (1 2 3)")
+        assert (p.x, p.y) == (1, 2)
+
+
+class TestParseLineString:
+    def test_simple(self):
+        ls = wkt.loads("LINESTRING (30 10, 10 30, 40 40)")
+        assert isinstance(ls, LineString)
+        assert ls.num_points == 3
+        assert ls.coords[1] == (10, 30)
+
+    def test_single_point_rejected(self):
+        with pytest.raises((WKTParseError, ValueError)):
+            wkt.loads("LINESTRING (30 10)")
+
+
+class TestParsePolygon:
+    def test_paper_example(self):
+        p = wkt.loads("POLYGON ((30 10, 40 40, 20 40, 30 10))")
+        assert isinstance(p, Polygon)
+        assert p.num_points == 4
+        assert p.area == pytest.approx(300.0)
+
+    def test_with_hole(self):
+        p = wkt.loads(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))"
+        )
+        assert len(p.holes) == 1
+        assert p.area == pytest.approx(100 - 4)
+
+    def test_unclosed_ring_gets_closed(self):
+        p = wkt.loads("POLYGON ((0 0, 4 0, 4 4, 0 4))")
+        assert p.shell.is_closed
+
+
+class TestParseMulti:
+    def test_multipoint_plain(self):
+        mp = wkt.loads("MULTIPOINT (1 2, 3 4)")
+        assert isinstance(mp, MultiPoint)
+        assert len(mp) == 2
+
+    def test_multipoint_parenthesised(self):
+        mp = wkt.loads("MULTIPOINT ((1 2), (3 4))")
+        assert len(mp) == 2
+
+    def test_multilinestring(self):
+        ml = wkt.loads("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))")
+        assert isinstance(ml, MultiLineString)
+        assert ml.num_points == 5
+
+    def test_multipolygon(self):
+        mp = wkt.loads(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))"
+        )
+        assert isinstance(mp, MultiPolygon)
+        assert len(mp) == 2
+
+    def test_geometrycollection(self):
+        gc = wkt.loads("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))")
+        assert isinstance(gc, GeometryCollection)
+        assert len(gc) == 2
+
+    def test_empty_multipolygon(self):
+        assert wkt.loads("MULTIPOLYGON EMPTY").is_empty
+
+
+class TestUserdata:
+    def test_trailing_attributes_stored(self):
+        g = wkt.loads("POINT (1 2)\t42\thighway=primary")
+        assert g.userdata == "42\thighway=primary"
+
+    def test_explicit_userdata_wins(self):
+        g = wkt.loads("POINT (1 2)\tattrs", userdata={"id": 7})
+        assert g.userdata == {"id": 7}
+
+    def test_no_trailing_attributes(self):
+        assert wkt.loads("POINT (1 2)").userdata is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "CIRCLE (0 0, 5)",
+            "POINT 1 2",
+            "POLYGON ((0 0, 1 1))",
+            "LINESTRING (a b, c d)",
+            "POINT (1 2",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises((WKTParseError, ValueError)):
+            wkt.loads(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "POINT (30 10)",
+            "LINESTRING (30 10, 10 30, 40 40)",
+            "POLYGON ((30 10, 40 40, 20 40, 30 10))",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
+            "MULTIPOINT ((1 2), (3 4))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))",
+        ],
+    )
+    def test_parse_format_parse_is_stable(self, text):
+        g1 = wkt.loads(text)
+        g2 = wkt.loads(g1.wkt())
+        assert g1.wkt() == g2.wkt()
+        assert g1.envelope == g2.envelope
+
+    @given(st.lists(coord, min_size=3, max_size=12))
+    def test_polygon_roundtrip_property(self, coords):
+        # Degenerate (collinear / duplicate) rings may legitimately fail to
+        # build; only exercise the ones that construct successfully.
+        try:
+            poly = Polygon(coords)
+        except ValueError:
+            return
+        parsed = wkt.loads(poly.wkt())
+        assert isinstance(parsed, Polygon)
+        assert parsed.envelope == poly.envelope
+        assert parsed.area == pytest.approx(poly.area, rel=1e-9, abs=1e-9)
+
+    @given(st.lists(coord, min_size=2, max_size=20))
+    def test_linestring_roundtrip_property(self, coords):
+        ls = LineString(coords)
+        parsed = wkt.loads(ls.wkt())
+        assert parsed.num_points == ls.num_points
+        assert parsed.envelope == ls.envelope

@@ -1,0 +1,196 @@
+"""Quadtree, uniform grid and space-filling-curve tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Envelope
+from repro.index import (
+    Quadtree,
+    UniformGrid,
+    block_mapping,
+    hilbert_decode,
+    hilbert_encode,
+    round_robin_mapping,
+    sort_by_hilbert,
+    sort_by_zorder,
+    zorder_decode,
+    zorder_encode,
+)
+
+
+def make_boxes(n, seed=0, extent=100.0):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        x, y = rng.uniform(0, extent), rng.uniform(0, extent)
+        w, h = rng.uniform(0.1, 5), rng.uniform(0.1, 5)
+        out.append((Envelope(x, y, x + w, y + h), i))
+    return out
+
+
+class TestQuadtree:
+    def test_requires_valid_extent(self):
+        with pytest.raises(ValueError):
+            Quadtree(Envelope.empty())
+
+    def test_insert_query_matches_bruteforce(self):
+        boxes = make_boxes(400, seed=2)
+        qt = Quadtree(Envelope(0, 0, 100, 100), max_items=8)
+        qt.extend(boxes)
+        assert len(qt) == 400
+        for seed in range(10):
+            rng = random.Random(seed)
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            search = Envelope(x, y, x + 10, y + 10)
+            expected = sorted(i for env, i in boxes if env.intersects(search))
+            assert sorted(qt.query(search)) == expected
+
+    def test_items_outside_extent_still_found(self):
+        qt = Quadtree(Envelope(0, 0, 10, 10), max_items=2)
+        qt.insert(Envelope(100, 100, 101, 101), "outlier")
+        assert qt.query(Envelope(99, 99, 102, 102)) == ["outlier"]
+
+    def test_subdivision_happens(self):
+        qt = Quadtree(Envelope(0, 0, 100, 100), max_items=4)
+        qt.extend(make_boxes(200, seed=5))
+        assert qt.depth() >= 2
+
+    def test_rejects_empty_envelope(self):
+        qt = Quadtree(Envelope(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            qt.insert(Envelope.empty(), 1)
+
+    def test_query_point(self):
+        qt = Quadtree(Envelope(0, 0, 10, 10))
+        qt.insert(Envelope(2, 2, 4, 4), "a")
+        assert qt.query_point(3, 3) == ["a"]
+        assert qt.query_point(9, 9) == []
+
+
+class TestUniformGrid:
+    def test_cell_layout(self):
+        g = UniformGrid(Envelope(0, 0, 100, 50), rows=5, cols=10)
+        assert g.num_cells == 50
+        assert g.cell(0, 0).envelope.as_tuple() == (0, 0, 10, 10)
+        assert g.cell(4, 9).envelope.as_tuple() == (90, 40, 100, 50)
+        assert g.cell_id(1, 2) == 12
+        assert g.cell_by_id(12).row == 1 and g.cell_by_id(12).col == 2
+
+    def test_with_cell_count(self):
+        g = UniformGrid.with_cell_count(Envelope(0, 0, 10, 10), 64)
+        assert g.num_cells == 64
+        g2 = UniformGrid.with_cell_count(Envelope(0, 0, 10, 10), 17)
+        assert g2.num_cells == 17
+
+    def test_cells_for_envelope_replication(self):
+        g = UniformGrid(Envelope(0, 0, 100, 100), rows=4, cols=4)
+        # a geometry spanning 4 cells must be replicated to all of them
+        ids = g.cells_for_envelope(Envelope(20, 20, 30, 30))
+        assert sorted(ids) == [0, 1, 4, 5]
+        # fully inside a single cell
+        assert g.cells_for_envelope(Envelope(1, 1, 2, 2)) == [0]
+
+    def test_cells_for_envelope_clamps_outliers(self):
+        g = UniformGrid(Envelope(0, 0, 100, 100), rows=2, cols=2)
+        assert g.cells_for_envelope(Envelope(200, 200, 300, 300)) == [3]
+        assert g.cells_for_envelope(Envelope(-10, -10, -5, -5)) == [0]
+
+    def test_cell_for_point(self):
+        g = UniformGrid(Envelope(0, 0, 100, 100), rows=2, cols=2)
+        assert g.cell_for_point(10, 10) == 0
+        assert g.cell_for_point(60, 10) == 1
+        assert g.cell_for_point(10, 60) == 2
+        assert g.cell_for_point(99, 99) == 3
+
+    def test_union_of_cells_covers_extent(self):
+        g = UniformGrid(Envelope(0, 0, 97, 53), rows=3, cols=7)
+        u = Envelope.empty()
+        for c in g.cells():
+            u = u.union(c.envelope)
+        assert u == g.extent
+
+    def test_histogram(self):
+        g = UniformGrid(Envelope(0, 0, 10, 10), rows=2, cols=2)
+        h = g.histogram([Envelope(1, 1, 2, 2), Envelope(1, 1, 9, 9)])
+        assert h[0] == 2
+        assert h[1] == 1 and h[2] == 1 and h[3] == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            UniformGrid(Envelope.empty(), 1, 1)
+        with pytest.raises(ValueError):
+            UniformGrid(Envelope(0, 0, 1, 1), 0, 5)
+        with pytest.raises(IndexError):
+            UniformGrid(Envelope(0, 0, 1, 1), 2, 2).cell_by_id(4)
+
+
+class TestMappings:
+    def test_round_robin(self):
+        m = round_robin_mapping(10, 3)
+        assert m[0] == 0 and m[1] == 1 and m[2] == 2 and m[3] == 0
+        counts = [list(m.values()).count(r) for r in range(3)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_block(self):
+        m = block_mapping(10, 3)
+        assert m[0] == 0 and m[9] == 2
+        assert sorted(set(m.values())) == [0, 1, 2]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            round_robin_mapping(4, 0)
+        with pytest.raises(ValueError):
+            block_mapping(4, 0)
+
+
+class TestSpaceFillingCurves:
+    @given(st.integers(min_value=0, max_value=2**20), st.integers(min_value=0, max_value=2**20))
+    def test_zorder_roundtrip(self, x, y):
+        assert zorder_decode(zorder_encode(x, y)) == (x, y)
+
+    def test_zorder_ordering_small_grid(self):
+        # The first four codes trace the standard Z pattern.
+        codes = [zorder_encode(x, y) for y in range(2) for x in range(2)]
+        assert codes == [0, 1, 2, 3]
+
+    @given(st.integers(min_value=0, max_value=2**10 - 1), st.integers(min_value=0, max_value=2**10 - 1))
+    def test_hilbert_roundtrip(self, x, y):
+        assert hilbert_decode(hilbert_encode(x, y, order=10), order=10) == (x, y)
+
+    def test_hilbert_locality_adjacent_codes_adjacent_cells(self):
+        # Consecutive Hilbert distances must map to 4-neighbour cells.
+        order = 4
+        prev = hilbert_decode(0, order=order)
+        for d in range(1, (1 << order) ** 2):
+            cur = hilbert_decode(d, order=order)
+            dist = abs(cur[0] - prev[0]) + abs(cur[1] - prev[1])
+            assert dist == 1
+            prev = cur
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zorder_encode(-1, 0)
+        with pytest.raises(ValueError):
+            hilbert_encode(5, 5, order=2) if 5 >= 4 else None
+        with pytest.raises(ValueError):
+            hilbert_decode(-1)
+
+    def test_sorting_helpers(self):
+        rng = random.Random(3)
+        pts = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(200)]
+        extent = Envelope(0, 0, 100, 100)
+        for order_fn in (sort_by_zorder, sort_by_hilbert):
+            idx = order_fn(pts, extent)
+            assert sorted(idx) == list(range(200))
+            # spatial locality: average step distance under the SFC order is
+            # clearly smaller than under the original random order
+            def avg_step(order):
+                return sum(
+                    abs(pts[a][0] - pts[b][0]) + abs(pts[a][1] - pts[b][1])
+                    for a, b in zip(order, order[1:])
+                ) / (len(order) - 1)
+
+            assert avg_step(idx) < avg_step(list(range(200))) * 0.65

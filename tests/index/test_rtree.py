@@ -1,0 +1,170 @@
+"""R-tree (STR and dynamic) tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Envelope
+from repro.index import RTree, STRtree
+
+
+def make_boxes(n, seed=0, extent=1000.0, max_size=10.0):
+    rng = random.Random(seed)
+    boxes = []
+    for i in range(n):
+        x = rng.uniform(0, extent)
+        y = rng.uniform(0, extent)
+        w = rng.uniform(0.1, max_size)
+        h = rng.uniform(0.1, max_size)
+        boxes.append((Envelope(x, y, x + w, y + h), i))
+    return boxes
+
+
+def brute_force(boxes, search):
+    return sorted(i for env, i in boxes if env.intersects(search))
+
+
+box_strategy = st.tuples(
+    st.floats(min_value=-500, max_value=500, allow_nan=False),
+    st.floats(min_value=-500, max_value=500, allow_nan=False),
+    st.floats(min_value=0.0, max_value=50, allow_nan=False),
+    st.floats(min_value=0.0, max_value=50, allow_nan=False),
+).map(lambda t: Envelope(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+
+class TestSTRtree:
+    def test_empty_tree(self):
+        t = STRtree([])
+        assert len(t) == 0
+        assert t.is_empty
+        assert t.query(Envelope(0, 0, 1, 1)) == []
+        assert t.bounds.is_empty
+
+    def test_single_item(self):
+        t = STRtree([(Envelope(0, 0, 1, 1), "a")])
+        assert t.query(Envelope(0.5, 0.5, 2, 2)) == ["a"]
+        assert t.query(Envelope(5, 5, 6, 6)) == []
+
+    def test_matches_brute_force(self):
+        boxes = make_boxes(500, seed=1)
+        tree = STRtree(boxes)
+        for seed in range(20):
+            rng = random.Random(seed + 100)
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            search = Envelope(x, y, x + 50, y + 50)
+            assert sorted(tree.query(search)) == brute_force(boxes, search)
+
+    def test_query_with_empty_envelope(self):
+        tree = STRtree(make_boxes(10))
+        assert tree.query(Envelope.empty()) == []
+
+    def test_bounds_covers_all(self):
+        boxes = make_boxes(100, seed=3)
+        tree = STRtree(boxes)
+        for env, _ in boxes:
+            assert tree.bounds.contains(env)
+
+    def test_query_pairs(self):
+        left = [(Envelope(0, 0, 1, 1), "L0"), (Envelope(10, 10, 11, 11), "L1")]
+        right = [(Envelope(0.5, 0.5, 2, 2), "R0"), (Envelope(100, 100, 101, 101), "R1")]
+        tree = STRtree(right)
+        pairs = tree.query_pairs(left)
+        assert pairs == [("L0", "R0")]
+
+    def test_stats(self):
+        tree = STRtree(make_boxes(200), node_capacity=8)
+        s = tree.stats()
+        assert s.num_items == 200
+        assert s.height >= 2
+        assert s.num_nodes >= 200 // 8
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            STRtree([], node_capacity=1)
+
+    def test_skips_empty_envelopes(self):
+        tree = STRtree([(Envelope.empty(), "x"), (Envelope(0, 0, 1, 1), "y")])
+        assert len(tree) == 1
+
+    @given(st.lists(box_strategy, min_size=0, max_size=80), box_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_brute_force(self, envs, search):
+        boxes = [(e, i) for i, e in enumerate(envs)]
+        tree = STRtree(boxes)
+        assert sorted(tree.query(search)) == brute_force(boxes, search)
+
+
+class TestDynamicRTree:
+    def test_empty(self):
+        t = RTree()
+        assert len(t) == 0
+        assert t.query(Envelope(0, 0, 1, 1)) == []
+
+    def test_insert_and_query(self):
+        t = RTree(max_entries=4)
+        boxes = make_boxes(300, seed=7)
+        t.extend(boxes)
+        assert len(t) == 300
+        for seed in range(15):
+            rng = random.Random(seed)
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            search = Envelope(x, y, x + 40, y + 40)
+            assert sorted(t.query(search)) == brute_force(boxes, search)
+
+    def test_query_point(self):
+        t = RTree()
+        t.insert(Envelope(0, 0, 10, 10), "cell0")
+        t.insert(Envelope(10, 0, 20, 10), "cell1")
+        assert set(t.query_point(5, 5)) == {"cell0"}
+        assert set(t.query_point(10, 5)) == {"cell0", "cell1"}  # boundary
+
+    def test_rejects_empty_envelope(self):
+        with pytest.raises(ValueError):
+            RTree().insert(Envelope.empty(), "x")
+
+    def test_rejects_small_max_entries(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+
+    def test_bounds_grow_with_inserts(self):
+        t = RTree()
+        t.insert(Envelope(0, 0, 1, 1), 1)
+        assert t.bounds.as_tuple() == (0, 0, 1, 1)
+        t.insert(Envelope(5, 5, 6, 6), 2)
+        assert t.bounds.contains(Envelope(5, 5, 6, 6))
+
+    def test_duplicate_envelopes(self):
+        t = RTree(max_entries=4)
+        for i in range(20):
+            t.insert(Envelope(0, 0, 1, 1), i)
+        assert sorted(t.query(Envelope(0, 0, 1, 1))) == list(range(20))
+
+    def test_stats_height_grows(self):
+        t = RTree(max_entries=4)
+        t.extend(make_boxes(100, seed=11))
+        assert t.stats().height >= 2
+        assert t.stats().num_items == 100
+
+    @given(st.lists(box_strategy, min_size=1, max_size=60), box_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute_force(self, envs, search):
+        boxes = [(e, i) for i, e in enumerate(envs)]
+        t = RTree(max_entries=4)
+        t.extend(boxes)
+        assert sorted(t.query(search)) == brute_force(boxes, search)
+
+    def test_cell_boundary_use_case(self):
+        """The partitioning use case: index grid-cell rectangles, probe with
+        geometry MBRs to find overlapping cells."""
+        from repro.index import UniformGrid
+
+        grid = UniformGrid(Envelope(0, 0, 100, 100), rows=4, cols=4)
+        t = RTree()
+        for cell in grid.cells():
+            t.insert(cell.envelope, cell.cell_id)
+        probe = Envelope(10, 10, 40, 40)
+        via_rtree = sorted(t.query(probe))
+        via_grid = sorted(grid.cells_for_envelope(probe))
+        assert via_rtree == via_grid

@@ -1,0 +1,218 @@
+"""Collective operation tests."""
+
+import pytest
+
+from repro import mpisim
+from repro.mpisim import Op, ops
+
+
+class TestBasicCollectives:
+    def test_barrier_synchronises_clocks(self):
+        def prog(comm):
+            comm.clock.advance(float(comm.rank), category="compute")
+            comm.barrier()
+            return comm.clock.now
+
+        res = mpisim.run_spmd(prog, 4)
+        slowest = 3.0
+        assert all(t >= slowest for t in res.values)
+
+    def test_bcast_from_root(self):
+        def prog(comm):
+            data = {"key1": [7, 2.72], "key2": ("abc", "xyz")} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        res = mpisim.run_spmd(prog, 4)
+        assert all(v == {"key1": [7, 2.72], "key2": ("abc", "xyz")} for v in res.values)
+
+    def test_bcast_nondefault_root(self):
+        def prog(comm):
+            data = "payload" if comm.rank == 2 else None
+            return comm.bcast(data, root=2)
+
+        res = mpisim.run_spmd(prog, 4)
+        assert res.values == ["payload"] * 4
+
+    def test_scatter(self):
+        def prog(comm):
+            data = [(i + 1) ** 2 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        res = mpisim.run_spmd(prog, 5)
+        assert res.values == [(i + 1) ** 2 for i in range(5)]
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            data = [1, 2] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        with pytest.raises(mpisim.MPIError):
+            mpisim.run_spmd(prog, 3)
+
+    def test_gather(self):
+        def prog(comm):
+            return comm.gather((comm.rank + 1) ** 2, root=0)
+
+        res = mpisim.run_spmd(prog, 4)
+        assert res.values[0] == [1, 4, 9, 16]
+        assert res.values[1] is None
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(comm.rank * 10)
+
+        res = mpisim.run_spmd(prog, 3)
+        assert res.values == [[0, 10, 20]] * 3
+
+    def test_alltoall(self):
+        def prog(comm):
+            send = [f"{comm.rank}->{dest}" for dest in range(comm.size)]
+            return comm.alltoall(send)
+
+        res = mpisim.run_spmd(prog, 4)
+        for dest, received in enumerate(res.values):
+            assert received == [f"{src}->{dest}" for src in range(4)]
+
+    def test_alltoallv_variable_sizes(self):
+        """The two-round pattern of §4.2.3: exchange sizes first, then data."""
+
+        def prog(comm):
+            payloads = [bytes([comm.rank]) * (dest + 1) for dest in range(comm.size)]
+            counts = comm.alltoall([len(p) for p in payloads])
+            data = comm.alltoallv(payloads)
+            assert [len(d) for d in data] == counts
+            return data
+
+        res = mpisim.run_spmd(prog, 3)
+        for dest, received in enumerate(res.values):
+            assert received == [bytes([src]) * (dest + 1) for src in range(3)]
+
+
+class TestReductions:
+    def test_allreduce_sum(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank + 1, ops.SUM)
+
+        res = mpisim.run_spmd(prog, 4)
+        assert res.values == [10] * 4
+
+    def test_reduce_to_root_only(self):
+        def prog(comm):
+            return comm.reduce(comm.rank, ops.MAX, root=1)
+
+        res = mpisim.run_spmd(prog, 4)
+        assert res.values[1] == 3
+        assert res.values[0] is None and res.values[2] is None
+
+    def test_reduce_elementwise_arrays(self):
+        import numpy as np
+
+        def prog(comm):
+            return comm.allreduce(np.array([comm.rank, comm.rank * 2]), ops.SUM)
+
+        res = mpisim.run_spmd(prog, 3)
+        for v in res.values:
+            assert list(v) == [3, 6]
+
+    def test_scan_inclusive(self):
+        def prog(comm):
+            return comm.scan(comm.rank + 1, ops.SUM)
+
+        res = mpisim.run_spmd(prog, 4)
+        assert res.values == [1, 3, 6, 10]
+
+    def test_exscan(self):
+        def prog(comm):
+            return comm.exscan(comm.rank + 1, ops.SUM)
+
+        res = mpisim.run_spmd(prog, 4)
+        assert res.values == [None, 1, 3, 6]
+
+    def test_user_defined_op(self):
+        """The MPI_Op_create path used for MPI_UNION in the paper."""
+        union = Op.create(lambda a, b: (min(a[0], b[0]), max(a[1], b[1])), name="range_union")
+
+        def prog(comm):
+            local = (float(comm.rank), float(comm.rank + 1))
+            return comm.allreduce(local, union)
+
+        res = mpisim.run_spmd(prog, 5)
+        assert res.values == [(0.0, 5.0)] * 5
+
+    def test_non_commutative_op_rank_order(self):
+        concat = Op.create(lambda a, b: a + b, commute=False, name="concat")
+
+        def prog(comm):
+            return comm.reduce([comm.rank], concat, root=0)
+
+        res = mpisim.run_spmd(prog, 4)
+        assert res.values[0] == [0, 1, 2, 3]
+
+    def test_reduce_sequence_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ops.SUM.reduce_sequence([])
+
+
+class TestCommunicatorManagement:
+    def test_split_even_odd(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.size, sub.rank, sub.allreduce(comm.rank, ops.SUM))
+
+        res = mpisim.run_spmd(prog, 6)
+        for rank, (size, subrank, total) in enumerate(res.values):
+            assert size == 3
+            assert subrank == rank // 2
+            assert total == (0 + 2 + 4 if rank % 2 == 0 else 1 + 3 + 5)
+
+    def test_split_undefined_color(self):
+        def prog(comm):
+            sub = comm.split(color=0 if comm.rank == 0 else -1)
+            return sub is None
+
+        res = mpisim.run_spmd(prog, 3)
+        assert res.values == [False, True, True]
+
+    def test_split_key_reorders(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        res = mpisim.run_spmd(prog, 4)
+        assert res.values == [3, 2, 1, 0]
+
+    def test_dup_gives_independent_context(self):
+        def prog(comm):
+            dup = comm.dup()
+            a = dup.allreduce(1, ops.SUM)
+            b = comm.allreduce(2, ops.SUM)
+            return (a, b)
+
+        res = mpisim.run_spmd(prog, 3)
+        assert res.values == [(3, 6)] * 3
+
+    def test_collective_clock_sync(self):
+        def prog(comm):
+            comm.clock.advance(2.0 if comm.rank == 0 else 0.1, category="compute")
+            comm.allreduce(1, ops.SUM)
+            return comm.clock.now
+
+        res = mpisim.run_spmd(prog, 3)
+        assert min(res.values) >= 2.0
+
+
+class TestManyRanks:
+    def test_64_ranks_allreduce(self):
+        def prog(comm):
+            return comm.allreduce(1, ops.SUM)
+
+        res = mpisim.run_spmd(prog, 64)
+        assert res.values == [64] * 64
+
+    def test_32_ranks_alltoall(self):
+        def prog(comm):
+            return sum(comm.alltoall([comm.rank] * comm.size))
+
+        res = mpisim.run_spmd(prog, 32)
+        expected = sum(range(32))
+        assert res.values == [expected] * 32

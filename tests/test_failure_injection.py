@@ -1,0 +1,92 @@
+"""Failure-injection tests: the SPMD pipeline must fail loudly (not hang or
+silently corrupt data) when components misbehave."""
+
+import pytest
+
+from repro import mpisim
+from repro.core import (
+    GridPartitionConfig,
+    PartitionConfig,
+    SpatialJoin,
+    VectorIO,
+    WKTParser,
+)
+from repro.datasets import generate_dataset
+from repro.mpisim import MPIAbortError, ops
+from repro.pfs import LustreFilesystem
+
+
+@pytest.fixture
+def lustre(tmp_path):
+    fs = LustreFilesystem(tmp_path / "lustre")
+    generate_dataset(fs, "cemetery", scale=0.1)
+    return fs
+
+
+class TestMissingAndCorruptInputs:
+    def test_missing_file_aborts_all_ranks(self, lustre):
+        def prog(comm):
+            vio = VectorIO(lustre)
+            return vio.read_geometries(comm, "datasets/does_not_exist.wkt")
+
+        with pytest.raises(FileNotFoundError):
+            mpisim.run_spmd(prog, 4)
+
+    def test_corrupt_records_are_skipped_not_fatal(self, lustre):
+        # inject garbage lines into an otherwise valid dataset
+        with lustre.open("datasets/cemetery.wkt", mode="r+") as fh:
+            size = fh.size
+            fh.pwrite(size, b"THIS IS NOT WKT\nPOLYGON ((broken\n")
+
+        def prog(comm):
+            report = VectorIO(lustre).read_geometries(comm, "datasets/cemetery.wkt")
+            return comm.allreduce(report.num_geometries, ops.SUM)
+
+        res = mpisim.run_spmd(prog, 2)
+        assert res.values[0] == 40  # the 40 valid records survive
+
+    def test_strict_parser_propagates_failure(self, lustre):
+        with lustre.open("datasets/cemetery.wkt", mode="r+") as fh:
+            fh.pwrite(fh.size, b"GARBAGE RECORD\n")
+
+        def prog(comm):
+            vio = VectorIO(lustre)
+            return vio.read_geometries(comm, "datasets/cemetery.wkt", WKTParser(skip_invalid=False))
+
+        with pytest.raises(Exception):
+            mpisim.run_spmd(prog, 2)
+
+
+class TestRankFailures:
+    def test_rank_crash_mid_join_propagates(self, lustre):
+        generate_dataset(lustre, "lakes", scale=0.02)
+
+        class FaultyJoin(SpatialJoin):
+            def refine(self, cell, left, right):
+                raise RuntimeError("refine blew up")
+
+        def prog(comm):
+            join = FaultyJoin(lustre, grid_config=GridPartitionConfig(num_cells=4))
+            return join.run(comm, "datasets/lakes.wkt", "datasets/cemetery.wkt")
+
+        with pytest.raises(RuntimeError, match="refine blew up"):
+            mpisim.run_spmd(prog, 3)
+
+    def test_single_rank_death_does_not_hang_collectives(self):
+        def prog(comm):
+            if comm.rank == comm.size - 1:
+                raise ValueError("dead rank")
+            # all other ranks are stuck in a collective until the abort fires
+            return comm.allreduce(1, ops.SUM)
+
+        with pytest.raises(ValueError, match="dead rank"):
+            mpisim.run_spmd(prog, 6)
+
+    def test_mismatched_block_configuration_is_detected(self, lustre):
+        # a block size smaller than the largest record must fail loudly
+        def prog(comm):
+            vio = VectorIO(lustre, PartitionConfig(block_size=16))
+            return vio.read_geometries(comm, "datasets/cemetery.wkt")
+
+        with pytest.raises(mpisim.MPIError):
+            mpisim.run_spmd(prog, 2)
