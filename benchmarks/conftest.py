@@ -6,11 +6,46 @@ paper's OSM extracts; the interesting output of each benchmark is the printed
 figure report plus the qualitative shape assertions.
 """
 
+import json
+import os
+import pathlib
+
 import pytest
 
 from repro.bench import ensure_dataset
 from repro.datasets import SyntheticConfig, generate_dataset
 from repro.pfs import ClusterConfig, GPFSFilesystem, LustreFilesystem
+
+#: snapshot file recording this PR's benchmark results (the perf trajectory
+#: of the repo: bump the name each PR so history accumulates in git)
+BENCH_SNAPSHOT = pathlib.Path(__file__).parent / "BENCH_PR1.json"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump a compact JSON snapshot of every benchmark that ran.
+
+    The snapshot is written on the first ever run and whenever
+    ``BENCH_SNAPSHOT=1`` is set (CI sets it); otherwise an existing committed
+    snapshot is left untouched so routine local runs don't dirty the tree
+    with timing-only diffs.
+    """
+    if BENCH_SNAPSHOT.exists() and not os.environ.get("BENCH_SNAPSHOT"):
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    rows = []
+    for bench in bench_session.benchmarks:
+        row = {"name": getattr(bench, "name", None), "group": getattr(bench, "group", None)}
+        stats = getattr(bench, "stats", None)
+        if stats is not None:
+            for metric in ("min", "max", "mean", "stddev", "median", "rounds"):
+                value = getattr(stats, metric, None)
+                if value is not None:
+                    row[metric] = float(value)
+        rows.append(row)
+    rows.sort(key=lambda r: (r.get("group") or "", r.get("name") or ""))
+    BENCH_SNAPSHOT.write_text(json.dumps({"snapshot": "PR1", "benchmarks": rows}, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,109 @@
+"""Datastore serving — cold open vs warm page cache vs from-scratch pipeline.
+
+Not a figure of the paper: this benchmark starts the perf trajectory of the
+`repro.store` subsystem, which persists the pipeline's output (§4.1 motivates
+preprocessing into binary for "frequent, regular access").  Expected shape:
+
+* the from-scratch path (parse WKT + bulk-build the STR-tree + query) is the
+  most expensive, and pays it on **every** run;
+* a cold store open skips parsing and index building, reading only the pages
+  the batch touches;
+* a warm run serves the identical batch from the page cache with **zero**
+  additional simulated I/O.
+"""
+
+import time
+
+import pytest
+
+from repro.core import RangeQuery, VectorIO
+from repro.bench.reporting import FigureReport
+from repro.datasets import random_envelopes
+from repro.index import STRtree
+from repro.store import SpatialDataStore, bulk_load
+
+NUM_QUERIES = 50
+
+
+@pytest.fixture(scope="module")
+def store_dataset(lustre, join_datasets):
+    """Bulk-load the uniform lakes layer into a store (once per session)."""
+    geometries = VectorIO(lustre).sequential_read(join_datasets["lakes_uniform"]).geometries
+    result = bulk_load(lustre, "bench_lakes", geometries, num_partitions=16, page_size=4096)
+    return {"geometries": geometries, "result": result, "path": join_datasets["lakes_uniform"]}
+
+
+def test_store_cold_vs_warm(lustre, store_dataset, once):
+    geometries = store_dataset["geometries"]
+    extent = store_dataset["result"].manifest.extent
+    queries = [
+        (i, env)
+        for i, env in enumerate(
+            random_envelopes(NUM_QUERIES, extent=extent, max_size_fraction=0.1, seed=17)
+        )
+    ]
+
+    def driver():
+        report = FigureReport(
+            "Store", "Range-query serving: from-scratch vs cold vs warm store",
+            "path", "seconds",
+        )
+        wall = report.add_series("wall_seconds")
+        sim_io = report.add_series("simulated_io_seconds")
+
+        # from scratch: read + parse + build index + query (the per-run
+        # cost of the one-shot pipeline)
+        t0 = time.perf_counter()
+        parsed = VectorIO(lustre).sequential_read(store_dataset["path"])
+        tree = STRtree((g.envelope, g) for g in parsed.geometries)
+        for _, env in queries:
+            tree.query(env)
+        wall.add("scratch", time.perf_counter() - t0)
+        sim_io.add("scratch", parsed.io_seconds + parsed.parse_seconds)
+
+        # cold store: open + query, pages faulted in on demand
+        t0 = time.perf_counter()
+        store = SpatialDataStore.open(lustre, "bench_lakes", cache_pages=512)
+        rq = RangeQuery(lustre, queries)
+        cold_matches = rq.execute_from_store(store)
+        wall.add("cold", time.perf_counter() - t0)
+        cold_stats = dict(store.stats.as_dict())
+        sim_io.add("cold", cold_stats["io_seconds"])
+
+        # warm store: identical batch from the page cache
+        t0 = time.perf_counter()
+        warm_matches = rq.execute_from_store(store)
+        wall.add("warm", time.perf_counter() - t0)
+        warm_stats = store.stats.as_dict()
+        sim_io.add("warm", warm_stats["io_seconds"] - cold_stats["io_seconds"])
+
+        report.note(
+            f"store: {len(store)} records, {store.num_pages} pages; "
+            f"cold read {cold_stats['pages_read']:.0f} pages; "
+            f"warm hit rate {warm_stats['cache_hit_rate']:.1%}"
+        )
+        store.close()
+        return report, cold_stats, warm_stats, len(cold_matches), len(warm_matches)
+
+    report, cold_stats, warm_stats, cold_n, warm_n = once(driver)
+    report.print()
+
+    wall = dict(zip(report.series_by_label("wall_seconds").x, report.series_by_label("wall_seconds").y))
+    sim_io = dict(zip(report.series_by_label("simulated_io_seconds").x,
+                      report.series_by_label("simulated_io_seconds").y))
+
+    # identical answers on every path through the store
+    assert cold_n == warm_n
+
+    # the cold open reads only the touched pages, not the whole container
+    assert 0 < cold_stats["pages_read"] < store_dataset["result"].num_pages
+
+    # a warm batch performs no additional simulated I/O at all
+    assert sim_io["warm"] == 0.0
+    assert warm_stats["pages_read"] == cold_stats["pages_read"]
+
+    # serving beats re-running the pipeline, cold and warm alike
+    assert wall["cold"] < wall["scratch"]
+    assert wall["warm"] < wall["scratch"]
+    # and the simulated I/O bill shrinks the same way
+    assert sim_io["cold"] < sim_io["scratch"]

@@ -33,6 +33,11 @@ contribution:
     partitioning with all-to-all geometry exchange, and the filter-and-refine
     framework with spatial join, distributed indexing and range query on top.
 
+``repro.store``
+    Persistent partitioned spatial datastore: the pipeline's output (pages
+    of WKB records, partition manifest, packed R-tree index) bulk-loaded
+    once and served through a page cache on every later run.
+
 ``repro.datasets``
     Synthetic OSM-like dataset generators standing in for the paper's
     OpenStreetMap extracts.
@@ -51,6 +56,7 @@ __all__ = [
     "pfs",
     "io",
     "core",
+    "store",
     "datasets",
     "bench",
 ]

@@ -28,7 +28,7 @@ from .grid_partition import (
     partition_geometries,
 )
 from .indexing import CellIndex, DistributedIndex, IndexBuildReport
-from .join import JoinPair, SpatialJoin, join_cell
+from .join import JoinPair, SpatialJoin, join_cell, join_with_store
 from .noncontig import (
     RecordIndex,
     build_record_index,
@@ -135,6 +135,7 @@ __all__ = [
     "SpatialJoin",
     "JoinPair",
     "join_cell",
+    "join_with_store",
     "DistributedIndex",
     "CellIndex",
     "IndexBuildReport",

@@ -17,7 +17,7 @@ filter-and-refine recipe per grid cell:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
 
 from ..geometry import Envelope, Geometry, predicates
 from ..index import GridCell, STRtree
@@ -27,7 +27,10 @@ from .framework import ComputationResult, SpatialComputation
 from .grid_partition import GridPartitionConfig
 from .partition import PartitionConfig
 
-__all__ = ["JoinPair", "SpatialJoin", "join_cell"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import SpatialDataStore
+
+__all__ = ["JoinPair", "SpatialJoin", "join_cell", "join_with_store"]
 
 Predicate = Callable[[Geometry, Geometry], bool]
 
@@ -81,6 +84,25 @@ def join_cell(
     return results
 
 
+def join_with_store(
+    store: "SpatialDataStore",
+    probes: Sequence[Geometry],
+    predicate: Predicate = predicates.intersects,
+) -> List[JoinPair]:
+    """Join in-memory *probes* against a persistent :class:`SpatialDataStore`.
+
+    The serving-path alternative to re-running the distributed pipeline for
+    the stored layer: the store's packed index plays the filter phase and
+    *predicate* the refine phase.  Replicated stored geometries are already
+    de-duplicated by the store, so each qualifying pair appears exactly once;
+    ``cell_id`` is the store partition that served the stored geometry.
+    """
+    return [
+        JoinPair(left=probe, right=hit.geometry, cell_id=hit.partition_id)
+        for probe, hit in store.join(probes, predicate)
+    ]
+
+
 class SpatialJoin(SpatialComputation):
     """Distributed spatial join over two WKT layers.
 
@@ -114,6 +136,11 @@ class SpatialJoin(SpatialComputation):
         right: Sequence[Geometry],
     ) -> List[JoinPair]:
         return join_cell(cell, left, right, self.predicate, self.deduplicate)
+
+    # ------------------------------------------------------------------ #
+    def join_store(self, store: "SpatialDataStore", probes: Sequence[Geometry]) -> List[JoinPair]:
+        """Serve this join's predicate against a persistent datastore."""
+        return join_with_store(store, probes, self.predicate)
 
     # ------------------------------------------------------------------ #
     def count_pairs(self, comm: Communicator, left_path: str, right_path: str) -> int:

@@ -77,6 +77,13 @@ def read_fixed_records_roundrobin(
     try:
         file_size = fh.Get_size()
         record_size = record_type.size
+        if file_size % record_size != 0:
+            raise ValueError(
+                f"file {path!r} holds {file_size} bytes, which is not a whole "
+                f"number of {record_size}-byte {record_type.name} records "
+                f"({file_size % record_size} trailing bytes would be silently "
+                f"dropped); the file is truncated or uses a different record type"
+            )
         total_records = file_size // record_size
         total_blocks = math.ceil(total_records / records_per_block)
         filetype, my_blocks = roundrobin_filetype(

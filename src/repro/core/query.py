@@ -9,7 +9,7 @@ exchange machinery applies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from ..geometry import Envelope, Geometry, Polygon, predicates
 from ..index import GridCell, STRtree
@@ -19,6 +19,9 @@ from .framework import SpatialComputation
 from .grid_partition import GridPartitionConfig
 from .join import _reference_point
 from .partition import PartitionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import SpatialDataStore
 
 __all__ = ["QueryMatch", "RangeQuery"]
 
@@ -78,6 +81,25 @@ class RangeQuery(SpatialComputation):
                     matches.append(
                         QueryMatch(query_id=window.userdata, geometry=geom, cell_id=cell.cell_id)
                     )
+        return matches
+
+    # ------------------------------------------------------------------ #
+    def execute_from_store(self, store: "SpatialDataStore") -> List[QueryMatch]:
+        """Serve the query batch from a persistent :class:`SpatialDataStore`.
+
+        The alternative data source to :meth:`execute`: instead of re-reading,
+        re-partitioning and re-indexing the raw dataset, every window is
+        answered by the store's packed index and page cache.  Replica
+        de-duplication happens inside the store (by logical record id), so no
+        reference-point test is needed; ``cell_id`` reports the partition of
+        the page that served the match.
+        """
+        matches: List[QueryMatch] = []
+        for qid, env in self.queries:
+            for hit in store.range_query(env, exact=True):
+                matches.append(
+                    QueryMatch(query_id=qid, geometry=hit.geometry, cell_id=hit.partition_id)
+                )
         return matches
 
     # ------------------------------------------------------------------ #

@@ -5,8 +5,11 @@ from .binary import (
     MBR_RECORD_FLOAT64,
     POINT_RECORD_FLOAT64,
     random_envelopes,
+    read_mbr_file,
     read_mbr_records,
+    read_point_file,
     read_point_records,
+    validate_record_file,
     write_mbr_file,
     write_point_file,
 )
@@ -41,6 +44,9 @@ __all__ = [
     "write_point_file",
     "read_mbr_records",
     "read_point_records",
+    "read_mbr_file",
+    "read_point_file",
+    "validate_record_file",
     "MBR_RECORD_FLOAT32",
     "MBR_RECORD_FLOAT64",
     "POINT_RECORD_FLOAT64",

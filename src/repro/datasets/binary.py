@@ -26,6 +26,9 @@ __all__ = [
     "write_point_file",
     "read_mbr_records",
     "read_point_records",
+    "read_mbr_file",
+    "read_point_file",
+    "validate_record_file",
     "random_envelopes",
 ]
 
@@ -91,16 +94,53 @@ def write_point_file(
     return count
 
 
+def _check_whole_records(nbytes: int, record_size: int, what: str, source: str) -> None:
+    if nbytes % record_size != 0:
+        raise ValueError(
+            f"{source} holds {nbytes} bytes, which is not a whole number of "
+            f"{record_size}-byte {what} records ({nbytes % record_size} trailing "
+            f"bytes); the file is truncated, padded or uses a different record type"
+        )
+
+
+def validate_record_file(fs: SimulatedFilesystem, path: str, record_size: int) -> int:
+    """Check that *path*'s size is a whole multiple of *record_size*.
+
+    Returns the record count; raises :class:`ValueError` with the offending
+    sizes spelled out otherwise (never silently drops a partial record).
+    """
+    if record_size <= 0:
+        raise ValueError("record_size must be positive")
+    nbytes = fs.file_size(path)
+    _check_whole_records(nbytes, record_size, "fixed-size", f"file {path!r}")
+    return nbytes // record_size
+
+
 def read_mbr_records(data: bytes, precision: str = "float32") -> List[Envelope]:
     """Decode packed MBR records back into envelopes."""
     record = MBR_RECORD_FLOAT32 if precision == "float32" else MBR_RECORD_FLOAT64
-    if len(data) % record.size != 0:
-        raise ValueError("byte string is not a whole number of MBR records")
+    _check_whole_records(len(data), record.size, f"MBR ({precision})", "byte string")
     return [Envelope(*record.unpack_from(data, i)) for i in range(0, len(data), record.size)]
 
 
 def read_point_records(data: bytes) -> np.ndarray:
     """Decode packed point records into an ``(n, 2)`` float64 array."""
-    if len(data) % POINT_RECORD_FLOAT64.size != 0:
-        raise ValueError("byte string is not a whole number of point records")
+    _check_whole_records(len(data), POINT_RECORD_FLOAT64.size, "point", "byte string")
     return np.frombuffer(data, dtype=np.float64).reshape(-1, 2).copy()
+
+
+def read_mbr_file(
+    fs: SimulatedFilesystem, path: str, precision: str = "float32"
+) -> List[Envelope]:
+    """Read a whole MBR file, validating its size against the record size."""
+    record = MBR_RECORD_FLOAT32 if precision == "float32" else MBR_RECORD_FLOAT64
+    count = validate_record_file(fs, path, record.size)
+    with fs.open(path) as fh:
+        return read_mbr_records(fh.pread(0, count * record.size), precision)
+
+
+def read_point_file(fs: SimulatedFilesystem, path: str) -> np.ndarray:
+    """Read a whole point file, validating its size against the record size."""
+    count = validate_record_file(fs, path, POINT_RECORD_FLOAT64.size)
+    with fs.open(path) as fh:
+        return read_point_records(fh.pread(0, count * POINT_RECORD_FLOAT64.size))

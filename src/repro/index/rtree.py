@@ -72,6 +72,31 @@ class STRtree(Generic[T]):
         self._size = len(entries)
         self._root = self._build(entries)
 
+    @classmethod
+    def from_packed(
+        cls,
+        root: Optional[_STRNode],
+        size: int,
+        node_capacity: int = 16,
+    ) -> "STRtree[T]":
+        """Adopt an already-built node graph without re-running the STR pack.
+
+        This is the deserialisation path of :mod:`repro.store.index_io`: a
+        persisted index is decoded back into ``_STRNode`` objects and stitched
+        into a queryable tree, skipping the O(n log n) bulk load.
+        """
+        if node_capacity < 2:
+            raise ValueError("node_capacity must be >= 2")
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        if (root is None) != (size == 0):
+            raise ValueError("empty tree must have no root (and vice versa)")
+        tree: "STRtree[T]" = cls.__new__(cls)
+        tree.node_capacity = node_capacity
+        tree._size = size
+        tree._root = root
+        return tree
+
     # -- construction ---------------------------------------------------- #
     def _build(self, entries: List[Tuple[Envelope, T]]) -> Optional[_STRNode]:
         if not entries:
@@ -249,7 +274,10 @@ class RTree(Generic[T]):
                 area = child.envelope.area
                 if enl < best_enl or (enl == best_enl and area < best_area):
                     best, best_enl, best_area = child, enl, area
-            assert best is not None
+            if best is None:
+                # every child produced a NaN enlargement (infinite
+                # envelopes): any subtree is as good as any other
+                best = node.children[0]
             node = best
         return node
 
@@ -305,8 +333,11 @@ class RTree(Generic[T]):
         self, entries: List[Tuple[Envelope, Any]]
     ) -> Tuple[List[Tuple[Envelope, Any]], List[Tuple[Envelope, Any]]]:
         # Pick the pair of seeds wasting the most area if grouped together.
+        # Seeds start distinct so degenerate inputs (all-identical or
+        # infinite envelopes, where every waste is 0 or NaN) can never
+        # select the same entry twice and silently duplicate it.
         worst = -math.inf
-        seed_a = seed_b = 0
+        seed_a, seed_b = 0, 1
         for i in range(len(entries)):
             for j in range(i + 1, len(entries)):
                 waste = (

@@ -1,0 +1,53 @@
+"""Persistent partitioned spatial datastore (the serving subsystem).
+
+The paper's pipeline — read, parse, partition, index (§4, §5) — is a batch
+job; this package persists its output so repeated query traffic never pays
+for it again:
+
+``repro.store.format``
+    The paged binary container: WKB record pages with per-page MBR
+    summaries, a fixed header and a page directory.
+
+``repro.store.writer``
+    One-shot bulk loader: grid partitioning (with replication), space-
+    filling-curve record ordering, page packing, index construction.
+
+``repro.store.manifest``
+    The JSON partition manifest used for partition-level pruning.
+
+``repro.store.index_io``
+    Flat serialisation of the STR-packed R-tree so opens skip the bulk load.
+
+``repro.store.cache``
+    The LRU page cache (hit/miss/eviction statistics included).
+
+``repro.store.datastore``
+    The :class:`SpatialDataStore` facade: ``open()``, ``range_query()``,
+    ``join()``.
+"""
+
+from .cache import CacheStats, LRUPageCache
+from .datastore import QueryHit, SpatialDataStore, StoreStats
+from .format import PageMeta, RecordRef, StoreFormatError, StoreHeader
+from .index_io import dump_index, load_index
+from .manifest import PartitionInfo, StoreManifest, store_paths
+from .writer import BulkLoadResult, bulk_load
+
+__all__ = [
+    "SpatialDataStore",
+    "QueryHit",
+    "StoreStats",
+    "CacheStats",
+    "LRUPageCache",
+    "StoreFormatError",
+    "StoreHeader",
+    "PageMeta",
+    "RecordRef",
+    "StoreManifest",
+    "PartitionInfo",
+    "store_paths",
+    "BulkLoadResult",
+    "bulk_load",
+    "dump_index",
+    "load_index",
+]

@@ -1,0 +1,313 @@
+"""`SpatialDataStore` — open once, serve range queries and joins forever.
+
+The serving-side counterpart of the one-shot pipeline in ``repro.core``:
+where `SpatialComputation.run` re-reads, re-parses, re-partitions and
+re-indexes the raw dataset on every invocation, a store is bulk-loaded once
+and every later open costs only the manifest, the page directory and the
+packed index.  Queries prune partition MBRs (manifest), then page MBRs
+(page directory / index), and decode **only the pages they touch**, through
+an LRU page cache.
+
+All filesystem traffic goes through :class:`repro.pfs.SimulatedFilesystem`,
+so the store's I/O is charged by the same cost model as the rest of the
+reproduction; the accumulated simulated seconds are exposed via
+:meth:`SpatialDataStore.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..geometry import Envelope, Geometry, Polygon, predicates
+from ..index import STRtree
+from ..pfs import FileHandle, ReadRequest, SimulatedFilesystem
+from .cache import CacheStats, LRUPageCache
+from .format import (
+    HEADER_SIZE,
+    PageMeta,
+    RecordRef,
+    StoreFormatError,
+    decode_page,
+    unpack_header,
+    unpack_page_directory,
+)
+from .index_io import load_index
+from .manifest import StoreManifest, store_paths
+from .writer import BulkLoadResult, bulk_load
+
+__all__ = ["QueryHit", "StoreStats", "SpatialDataStore"]
+
+Predicate = Callable[[Geometry, Geometry], bool]
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """One record matched by a store query."""
+
+    record_id: int
+    geometry: Geometry
+    partition_id: int
+    page_id: int
+
+
+@dataclass
+class StoreStats:
+    """Cumulative serving statistics of one open store."""
+
+    pages_read: int = 0
+    bytes_read: int = 0
+    records_decoded: int = 0
+    queries: int = 0
+    #: simulated seconds charged by the filesystem cost model (open + reads)
+    io_seconds: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "pages_read": self.pages_read,
+            "bytes_read": self.bytes_read,
+            "records_decoded": self.records_decoded,
+            "queries": self.queries,
+            "io_seconds": self.io_seconds,
+        }
+        out.update({f"cache_{k}": v for k, v in self.cache.as_dict().items()})
+        return out
+
+
+class SpatialDataStore:
+    """Persistent partitioned spatial datastore (facade over the store files).
+
+    Example::
+
+        result = bulk_load(fs, "lakes", geometries)      # once, offline
+        with SpatialDataStore.open(fs, "lakes") as store:  # every serving run
+            hits = store.range_query(Envelope(0, 0, 10, 10))
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedFilesystem,
+        name: str,
+        manifest: StoreManifest,
+        pages: List[PageMeta],
+        index: STRtree,
+        cache_pages: int = 64,
+    ) -> None:
+        self.fs = fs
+        self.name = name
+        self.manifest = manifest
+        self.pages = pages
+        self.index = index
+        self.paths = store_paths(name)
+        self.stats = StoreStats()
+        self._cache: LRUPageCache[int, List[Tuple[int, Geometry]]] = LRUPageCache(cache_pages)
+        self.stats.cache = self._cache.stats
+        self._partition_of_page = manifest.partition_of_page()
+        self._handle: Optional[FileHandle] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls, fs: SimulatedFilesystem, name: str, cache_pages: int = 64
+    ) -> "SpatialDataStore":
+        """Open a persisted store: manifest + page directory + packed index.
+
+        This is the whole cold-start cost — no record is parsed and the
+        R-tree is reconstituted, not rebuilt.
+        """
+        paths = store_paths(name)
+        for key in ("data", "index", "manifest"):
+            if not fs.exists(paths[key]):
+                raise FileNotFoundError(
+                    f"store {name!r} is missing {paths[key]!r}; run bulk_load first"
+                )
+
+        io_seconds = 0.0
+
+        with fs.open(paths["manifest"]) as fh:
+            manifest_raw = fh.pread(0, fh.size)
+            io_seconds += fs.open_time()
+            io_seconds += fs.read_time(
+                paths["manifest"], [ReadRequest(0, ((0, len(manifest_raw)),))]
+            )
+        manifest = StoreManifest.from_json(manifest_raw.decode("utf-8"))
+
+        with fs.open(paths["data"]) as fh:
+            header = unpack_header(fh.pread(0, HEADER_SIZE))
+            directory = fh.pread(header.dir_offset, header.dir_nbytes)
+            io_seconds += fs.open_time()
+            io_seconds += fs.read_time(
+                paths["data"],
+                [ReadRequest(0, ((0, HEADER_SIZE), (header.dir_offset, header.dir_nbytes)))],
+            )
+        pages = unpack_page_directory(directory, header.num_pages)
+        if header.num_pages != manifest.num_pages or header.num_records != manifest.num_records:
+            raise StoreFormatError(
+                f"manifest and container disagree for store {name!r}: "
+                f"{manifest.num_pages}/{manifest.num_records} vs "
+                f"{header.num_pages}/{header.num_records} pages/records"
+            )
+
+        with fs.open(paths["index"]) as fh:
+            index_raw = fh.pread(0, fh.size)
+            io_seconds += fs.open_time()
+            io_seconds += fs.read_time(paths["index"], [ReadRequest(0, ((0, len(index_raw)),))])
+        index = load_index(index_raw)
+
+        store = cls(fs, name, manifest, pages, index, cache_pages=cache_pages)
+        store.stats.io_seconds = io_seconds
+        return store
+
+    @classmethod
+    def bulk_load(
+        cls,
+        fs: SimulatedFilesystem,
+        name: str,
+        geometries,
+        cache_pages: int = 64,
+        **options,
+    ) -> Tuple["SpatialDataStore", BulkLoadResult]:
+        """Write the store files and open the result (load + serve in one go)."""
+        result = bulk_load(fs, name, geometries, **options)
+        return cls.open(fs, name, cache_pages=cache_pages), result
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SpatialDataStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # basic introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.manifest.num_records
+
+    @property
+    def extent(self) -> Envelope:
+        return self.manifest.extent
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    def describe(self) -> str:
+        return (
+            f"SpatialDataStore({self.name!r}: {len(self)} records, "
+            f"{self.num_pages} pages, {len(self.manifest.partitions)} partitions "
+            f"on {self.fs.describe()})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # page access (through the cache)
+    # ------------------------------------------------------------------ #
+    def _read_page(self, page_id: int) -> List[Tuple[int, Geometry]]:
+        meta = self.pages[page_id]
+        if self._handle is None:
+            self._handle = self.fs.open(self.paths["data"])
+            self.stats.io_seconds += self.fs.open_time()
+        payload = self._handle.pread(meta.offset, meta.nbytes)
+        if len(payload) != meta.nbytes:
+            raise StoreFormatError(
+                f"page {page_id} of store {self.name!r} is truncated: "
+                f"got {len(payload)} of {meta.nbytes} bytes"
+            )
+        self.stats.io_seconds += self.fs.read_time(
+            self.paths["data"], [ReadRequest(0, ((meta.offset, meta.nbytes),))]
+        )
+        self.stats.pages_read += 1
+        self.stats.bytes_read += meta.nbytes
+        records = decode_page(payload)
+        self.stats.records_decoded += len(records)
+        return records
+
+    def _load_page(self, page_id: int) -> List[Tuple[int, Geometry]]:
+        return self._cache.get_or_load(page_id, self._read_page)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def range_query(
+        self, window: Union[Envelope, Geometry], exact: bool = True
+    ) -> List[QueryHit]:
+        """Records intersecting *window*, de-duplicated across replicas.
+
+        Pruning is hierarchical: the manifest's partition MBRs give a cheap
+        early exit, then the packed index (whose leaf envelopes bound every
+        record, and therefore every page) selects the exact ``(page, slot)``
+        candidates — only pages that actually hold candidates are fetched
+        and decoded.  With ``exact`` the geometric predicate is evaluated
+        (refine phase); otherwise the MBR test of the filter phase is the
+        answer.
+        """
+        self.stats.queries += 1
+        if isinstance(window, Geometry):
+            query_env = window.envelope
+            query_geom: Optional[Geometry] = window
+        else:
+            query_env = window
+            query_geom = None
+        if query_env.is_empty:
+            return []
+
+        if not self.manifest.partitions_for(query_env):
+            return []
+
+        by_page: Dict[int, List[int]] = {}
+        for ref in self.index.query(query_env):
+            by_page.setdefault(ref.page_id, []).append(ref.slot)
+
+        if exact and query_geom is None:
+            query_geom = Polygon.from_envelope(query_env)
+
+        hits: List[QueryHit] = []
+        seen: set = set()
+        for page_id in sorted(by_page):
+            records = self._load_page(page_id)
+            partition_id = self._partition_of_page.get(page_id, -1)
+            for slot in by_page[page_id]:
+                record_id, geom = records[slot]
+                if record_id in seen:
+                    continue
+                if exact and query_geom is not None and not predicates.intersects(query_geom, geom):
+                    continue
+                seen.add(record_id)
+                hits.append(QueryHit(record_id, geom, partition_id, page_id))
+        hits.sort(key=lambda h: h.record_id)
+        return hits
+
+    def join(
+        self,
+        probes: Sequence[Geometry],
+        predicate: Predicate = predicates.intersects,
+    ) -> List[Tuple[Geometry, QueryHit]]:
+        """Filter-and-refine join of in-memory *probes* against the store.
+
+        The store's packed index is the filter phase; *predicate* is the
+        refine phase.  Returns ``(probe, hit)`` pairs.
+        """
+        pairs: List[Tuple[Geometry, QueryHit]] = []
+        for probe in probes:
+            for hit in self.range_query(probe.envelope, exact=False):
+                if predicate(probe, hit.geometry):
+                    pairs.append((probe, hit))
+        return pairs
+
+    def scan(self) -> Iterator[Tuple[int, Geometry]]:
+        """Every logical record once, in record-id order (round-trip checks)."""
+        seen: set = set()
+        out: List[Tuple[int, Geometry]] = []
+        for page_id in range(self.num_pages):
+            for record_id, geom in self._load_page(page_id):
+                if record_id not in seen:
+                    seen.add(record_id)
+                    out.append((record_id, geom))
+        return iter(sorted(out, key=lambda t: t[0]))

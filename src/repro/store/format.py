@@ -1,0 +1,207 @@
+"""On-disk layout of the persistent spatial datastore.
+
+§4.1 of the paper motivates preprocessing vector data into binary form for
+"frequent, regular access"; this module is that binary form for the serving
+path.  A dataset is stored as one *paged container* file:
+
+```
++----------------------+  offset 0
+| header (64 bytes)    |  magic, version, page size, counts, directory offset
++----------------------+  offset 64
+| page 0 payload       |  <count:u32> then records (WKB + pickled userdata)
+| page 1 payload       |
+| ...                  |
++----------------------+  offset = header.dir_offset
+| page directory       |  one 48-byte entry per page: offset, nbytes, count,
+|                      |  and the page MBR (4 doubles)
++----------------------+
+```
+
+Every record carries a *logical record id*: geometries replicated into
+several partitions (the paper's grid replication) keep the same id, which is
+what lets queries de-duplicate replicas without a reference-point test.
+
+All multi-byte values are little-endian.  The container is self-describing:
+``open()`` needs only the header and the page directory to serve queries,
+and each page decodes independently, which is what makes the page cache
+effective.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, NamedTuple, Sequence, Tuple
+
+from ..geometry import Envelope, Geometry, wkb
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "HEADER_SIZE",
+    "PAGE_DIR_ENTRY",
+    "StoreFormatError",
+    "StoreHeader",
+    "PageMeta",
+    "RecordRef",
+    "encode_record",
+    "decode_page",
+    "encode_page",
+    "pack_header",
+    "unpack_header",
+    "pack_page_directory",
+    "unpack_page_directory",
+]
+
+MAGIC = b"RSPGSTO1"
+VERSION = 1
+HEADER_SIZE = 64
+
+#: fixed part of the header (the remainder of the 64 bytes is zero padding)
+_HEADER = struct.Struct("<8sHHIIQQ")  # magic, version, flags, page_size,
+#                                        num_pages, num_records, dir_offset
+
+#: one page-directory entry: offset, nbytes, count, page MBR
+PAGE_DIR_ENTRY = struct.Struct("<QII4d")
+
+#: per-record prefix inside a page: record id, WKB length, userdata length
+_RECORD_PREFIX = struct.Struct("<III")
+
+_PAGE_COUNT = struct.Struct("<I")
+
+
+class StoreFormatError(ValueError):
+    """Raised when a store file is malformed, truncated or mis-versioned."""
+
+
+class RecordRef(NamedTuple):
+    """Physical address of one record replica: (page id, slot within page)."""
+
+    page_id: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class StoreHeader:
+    """Decoded container header."""
+
+    page_size: int
+    num_pages: int
+    num_records: int
+    dir_offset: int
+
+    @property
+    def dir_nbytes(self) -> int:
+        return self.num_pages * PAGE_DIR_ENTRY.size
+
+
+@dataclass(frozen=True)
+class PageMeta:
+    """One page-directory entry (the page's address and MBR summary)."""
+
+    page_id: int
+    offset: int
+    nbytes: int
+    count: int
+    mbr: Envelope
+
+
+# --------------------------------------------------------------------------- #
+# records and pages
+# --------------------------------------------------------------------------- #
+def encode_record(record_id: int, geom: Geometry) -> bytes:
+    """Serialise one record: id-prefixed WKB plus pickled userdata (the same
+    payload the all-to-all exchange uses, so round-trips are lossless)."""
+    body = wkb.dumps(geom)
+    userdata = b"" if geom.userdata is None else pickle.dumps(geom.userdata, protocol=4)
+    return _RECORD_PREFIX.pack(record_id, len(body), len(userdata)) + body + userdata
+
+
+def encode_page(records: Sequence[bytes]) -> bytes:
+    """Concatenate pre-encoded records into one page payload."""
+    return _PAGE_COUNT.pack(len(records)) + b"".join(records)
+
+
+def decode_page(payload: bytes) -> List[Tuple[int, Geometry]]:
+    """Decode a page payload into ``[(record_id, geometry), ...]`` (slot order)."""
+    if len(payload) < _PAGE_COUNT.size:
+        raise StoreFormatError("page payload shorter than its count prefix")
+    (count,) = _PAGE_COUNT.unpack_from(payload, 0)
+    pos = _PAGE_COUNT.size
+    out: List[Tuple[int, Geometry]] = []
+    for _ in range(count):
+        if pos + _RECORD_PREFIX.size > len(payload):
+            raise StoreFormatError("truncated record prefix in page payload")
+        record_id, body_len, ud_len = _RECORD_PREFIX.unpack_from(payload, pos)
+        pos += _RECORD_PREFIX.size
+        if pos + body_len + ud_len > len(payload):
+            raise StoreFormatError("truncated record body in page payload")
+        geom = wkb.loads(payload[pos : pos + body_len])
+        pos += body_len
+        if ud_len:
+            geom.userdata = pickle.loads(payload[pos : pos + ud_len])
+            pos += ud_len
+        out.append((record_id, geom))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# header and page directory
+# --------------------------------------------------------------------------- #
+def pack_header(page_size: int, num_pages: int, num_records: int, dir_offset: int) -> bytes:
+    packed = _HEADER.pack(MAGIC, VERSION, 0, page_size, num_pages, num_records, dir_offset)
+    return packed + b"\x00" * (HEADER_SIZE - len(packed))
+
+
+def unpack_header(data: bytes) -> StoreHeader:
+    if len(data) < HEADER_SIZE:
+        raise StoreFormatError(
+            f"store header needs {HEADER_SIZE} bytes, got {len(data)}"
+        )
+    magic, version, _flags, page_size, num_pages, num_records, dir_offset = _HEADER.unpack_from(
+        data, 0
+    )
+    if magic != MAGIC:
+        raise StoreFormatError(f"bad store magic {magic!r} (expected {MAGIC!r})")
+    if version != VERSION:
+        raise StoreFormatError(f"unsupported store version {version} (expected {VERSION})")
+    return StoreHeader(
+        page_size=page_size,
+        num_pages=num_pages,
+        num_records=num_records,
+        dir_offset=dir_offset,
+    )
+
+
+def pack_page_directory(metas: Iterable[PageMeta]) -> bytes:
+    out = bytearray()
+    for meta in metas:
+        out += PAGE_DIR_ENTRY.pack(
+            meta.offset, meta.nbytes, meta.count, *meta.mbr.as_tuple()
+        )
+    return bytes(out)
+
+
+def unpack_page_directory(data: bytes, num_pages: int) -> List[PageMeta]:
+    expected = num_pages * PAGE_DIR_ENTRY.size
+    if len(data) != expected:
+        raise StoreFormatError(
+            f"page directory is {len(data)} bytes, expected {expected} "
+            f"({num_pages} entries of {PAGE_DIR_ENTRY.size} bytes)"
+        )
+    metas: List[PageMeta] = []
+    for page_id in range(num_pages):
+        offset, nbytes, count, minx, miny, maxx, maxy = PAGE_DIR_ENTRY.unpack_from(
+            data, page_id * PAGE_DIR_ENTRY.size
+        )
+        metas.append(
+            PageMeta(
+                page_id=page_id,
+                offset=offset,
+                nbytes=nbytes,
+                count=count,
+                mbr=Envelope(minx, miny, maxx, maxy),
+            )
+        )
+    return metas

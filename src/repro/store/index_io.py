@@ -1,0 +1,109 @@
+"""Serialisation of the bulk-loaded STR-packed R-tree.
+
+Persisting the index is what makes a cold ``open()`` cheap: instead of
+re-running the O(n log n) Sort-Tile-Recursive pack over every record MBR,
+the tree's node graph is written once as a flat pre-order byte stream and
+reconstituted with :meth:`repro.index.STRtree.from_packed` (a linear scan).
+
+Layout (little-endian)::
+
+    header:  <8s magic><H version><H node_capacity><I num_nodes><Q num_items>
+    nodes in pre-order, each:
+        <B is_leaf><I n><4d envelope>
+        leaf:      n items, each <4d envelope><I page_id><I slot>
+        internal:  the n child nodes follow recursively
+
+Payloads are :class:`repro.store.format.RecordRef` addresses — the index
+maps a query window to the (page, slot) pairs to fetch, never to geometry
+objects, so it stays small and loads fast.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from ..geometry import Envelope
+from ..index import STRtree
+from ..index.rtree import _STRNode
+from .format import RecordRef, StoreFormatError
+
+__all__ = ["INDEX_MAGIC", "INDEX_VERSION", "dump_index", "load_index"]
+
+INDEX_MAGIC = b"RSPGIDX1"
+INDEX_VERSION = 1
+
+_HEADER = struct.Struct("<8sHHIQ")
+_NODE = struct.Struct("<BI4d")
+_ITEM = struct.Struct("<4dII")
+
+
+def dump_index(tree: STRtree) -> bytes:
+    """Serialise *tree* (payloads must be ``RecordRef``-like pairs)."""
+    nodes: List[_STRNode] = []
+    root = tree._root
+    if root is not None:
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            # reversed keeps pre-order stable for the recursive reader
+            stack.extend(reversed(node.children))
+
+    out = bytearray()
+    out += _HEADER.pack(INDEX_MAGIC, INDEX_VERSION, tree.node_capacity, len(nodes), len(tree))
+    for node in nodes:
+        count = len(node.items) if node.is_leaf else len(node.children)
+        out += _NODE.pack(1 if node.is_leaf else 0, count, *node.envelope.as_tuple())
+        if node.is_leaf:
+            for env, payload in node.items:
+                page_id, slot = payload
+                out += _ITEM.pack(*env.as_tuple(), page_id, slot)
+    return bytes(out)
+
+
+def load_index(data: bytes) -> STRtree:
+    """Inverse of :func:`dump_index`; returns a queryable tree."""
+    if len(data) < _HEADER.size:
+        raise StoreFormatError(f"index needs at least {_HEADER.size} header bytes")
+    magic, version, node_capacity, num_nodes, num_items = _HEADER.unpack_from(data, 0)
+    if magic != INDEX_MAGIC:
+        raise StoreFormatError(f"bad index magic {magic!r} (expected {INDEX_MAGIC!r})")
+    if version != INDEX_VERSION:
+        raise StoreFormatError(f"unsupported index version {version}")
+
+    pos = _HEADER.size
+    consumed = 0
+
+    def read_node() -> Tuple[_STRNode, None]:
+        nonlocal pos, consumed
+        if consumed >= num_nodes:
+            raise StoreFormatError("index declares fewer nodes than its payload holds")
+        if pos + _NODE.size > len(data):
+            raise StoreFormatError("truncated index node")
+        is_leaf, count, minx, miny, maxx, maxy = _NODE.unpack_from(data, pos)
+        pos += _NODE.size
+        consumed += 1
+        envelope = Envelope(minx, miny, maxx, maxy)
+        if is_leaf:
+            items = []
+            for _ in range(count):
+                if pos + _ITEM.size > len(data):
+                    raise StoreFormatError("truncated index leaf item")
+                iminx, iminy, imaxx, imaxy, page_id, slot = _ITEM.unpack_from(data, pos)
+                pos += _ITEM.size
+                items.append((Envelope(iminx, iminy, imaxx, imaxy), RecordRef(page_id, slot)))
+            return _STRNode(envelope, items=items), None
+        children = [read_node()[0] for _ in range(count)]
+        return _STRNode(envelope, children=children), None
+
+    root: Optional[_STRNode] = None
+    if num_nodes:
+        root, _ = read_node()
+    if consumed != num_nodes:
+        raise StoreFormatError(
+            f"index declares {num_nodes} nodes but only {consumed} were read"
+        )
+    if pos != len(data):
+        raise StoreFormatError(f"{len(data) - pos} trailing bytes after index payload")
+    return STRtree.from_packed(root, num_items, node_capacity=node_capacity)

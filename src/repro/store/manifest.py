@@ -1,0 +1,145 @@
+"""JSON partition manifest of a persisted dataset.
+
+The manifest is the store's partition-level metadata: for every grid
+partition it records the partition MBR (the union of the *data* actually in
+it, which can be tighter than the grid cell), the pages holding its records
+and the record count.  A query first prunes partitions against the manifest,
+then pages against the per-page MBR summaries in the page directory — the
+two-level pruning §4/§5 of the paper applies at partition and index level.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..geometry import Envelope
+
+__all__ = ["MANIFEST_VERSION", "PartitionInfo", "StoreManifest", "store_paths"]
+
+MANIFEST_VERSION = 1
+
+
+def store_paths(name: str) -> Dict[str, str]:
+    """Canonical file layout of a named store inside a simulated filesystem."""
+    base = f"stores/{name}"
+    return {
+        "data": f"{base}/data.bin",
+        "index": f"{base}/index.bin",
+        "manifest": f"{base}/manifest.json",
+    }
+
+
+def _env_to_json(env: Envelope) -> Optional[List[float]]:
+    return None if env.is_empty else list(env.as_tuple())
+
+
+def _env_from_json(values: Optional[Sequence[float]]) -> Envelope:
+    if values is None:
+        return Envelope.empty()
+    return Envelope.from_doubles(values)
+
+
+@dataclass
+class PartitionInfo:
+    """One grid partition of the store."""
+
+    partition_id: int
+    #: grid-cell rectangle the partition was derived from
+    cell_mbr: Envelope
+    #: tight MBR of the records stored in the partition
+    data_mbr: Envelope
+    #: pages holding this partition's records (pages never span partitions)
+    page_ids: List[int] = field(default_factory=list)
+    #: number of record replicas stored in the partition
+    record_count: int = 0
+
+
+@dataclass
+class StoreManifest:
+    """Partition manifest of one persisted dataset."""
+
+    name: str
+    page_size: int
+    num_records: int
+    num_pages: int
+    extent: Envelope
+    grid_rows: int
+    grid_cols: int
+    partitions: List[PartitionInfo] = field(default_factory=list)
+    version: int = MANIFEST_VERSION
+
+    # ------------------------------------------------------------------ #
+    def partitions_for(self, window: Envelope) -> List[PartitionInfo]:
+        """Partition-level pruning: partitions whose data MBR intersects."""
+        if window.is_empty:
+            return []
+        return [p for p in self.partitions if p.data_mbr.intersects(window)]
+
+    def partition_of_page(self) -> Dict[int, int]:
+        """Map every page id to the partition that owns it."""
+        owner: Dict[int, int] = {}
+        for part in self.partitions:
+            for pid in part.page_ids:
+                owner[pid] = part.partition_id
+        return owner
+
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        doc = {
+            "format": "repro.store.manifest",
+            "version": self.version,
+            "name": self.name,
+            "page_size": self.page_size,
+            "num_records": self.num_records,
+            "num_pages": self.num_pages,
+            "extent": _env_to_json(self.extent),
+            "grid": {"rows": self.grid_rows, "cols": self.grid_cols},
+            "partitions": [
+                {
+                    "id": p.partition_id,
+                    "cell_mbr": _env_to_json(p.cell_mbr),
+                    "data_mbr": _env_to_json(p.data_mbr),
+                    "pages": p.page_ids,
+                    "records": p.record_count,
+                }
+                for p in self.partitions
+            ],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "StoreManifest":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"manifest is not valid JSON: {exc}") from exc
+        if doc.get("format") != "repro.store.manifest":
+            raise ValueError("not a repro.store manifest document")
+        if doc.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {doc.get('version')} "
+                f"(expected {MANIFEST_VERSION})"
+            )
+        partitions = [
+            PartitionInfo(
+                partition_id=p["id"],
+                cell_mbr=_env_from_json(p["cell_mbr"]),
+                data_mbr=_env_from_json(p["data_mbr"]),
+                page_ids=list(p["pages"]),
+                record_count=p["records"],
+            )
+            for p in doc["partitions"]
+        ]
+        return StoreManifest(
+            name=doc["name"],
+            page_size=doc["page_size"],
+            num_records=doc["num_records"],
+            num_pages=doc["num_pages"],
+            extent=_env_from_json(doc["extent"]),
+            grid_rows=doc["grid"]["rows"],
+            grid_cols=doc["grid"]["cols"],
+            partitions=partitions,
+            version=doc["version"],
+        )

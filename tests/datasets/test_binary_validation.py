@@ -1,0 +1,116 @@
+"""Binary fixed-record readers must reject partial records loudly."""
+
+import struct
+
+import pytest
+
+from repro.datasets import (
+    POINT_RECORD_FLOAT64,
+    random_envelopes,
+    read_mbr_file,
+    read_mbr_records,
+    read_point_file,
+    read_point_records,
+    validate_record_file,
+    write_mbr_file,
+    write_point_file,
+)
+from repro.pfs import LustreFilesystem
+
+
+@pytest.fixture
+def fs(tmp_path):
+    return LustreFilesystem(tmp_path / "fs", ost_count=4)
+
+
+class TestByteLevelReaders:
+    def test_mbr_round_trip(self):
+        envs = random_envelopes(10, seed=1)
+        data = b"".join(struct.pack("<4f", *e.as_tuple()) for e in envs)
+        assert len(read_mbr_records(data)) == 10
+
+    def test_mbr_partial_record_raises_with_sizes(self):
+        data = b"\x00" * 35  # 2 records of 16 bytes + 3 trailing bytes
+        with pytest.raises(ValueError) as exc:
+            read_mbr_records(data)
+        assert "35 bytes" in str(exc.value)
+        assert "3 trailing" in str(exc.value)
+
+    def test_point_partial_record_raises_with_sizes(self):
+        with pytest.raises(ValueError) as exc:
+            read_point_records(b"\x00" * (POINT_RECORD_FLOAT64.size + 1))
+        assert "17 bytes" in str(exc.value)
+
+
+class TestFileLevelReaders:
+    def test_mbr_file_round_trip(self, fs):
+        envs = random_envelopes(25, seed=2)
+        write_mbr_file(fs, "data/mbrs.bin", envs, precision="float64")
+        back = read_mbr_file(fs, "data/mbrs.bin", precision="float64")
+        assert back == envs
+
+    def test_point_file_round_trip(self, fs):
+        points = [(float(i), float(-i)) for i in range(40)]
+        write_point_file(fs, "data/points.bin", points)
+        arr = read_point_file(fs, "data/points.bin")
+        assert arr.shape == (40, 2)
+        assert list(map(tuple, arr)) == points
+
+    def test_truncated_mbr_file_raises_and_names_file(self, fs):
+        envs = random_envelopes(4, seed=3)
+        write_mbr_file(fs, "data/trunc.bin", envs)
+        whole = fs.backing_path("data/trunc.bin").read_bytes()
+        fs.create_file("data/trunc.bin", whole[:-5])
+        with pytest.raises(ValueError) as exc:
+            read_mbr_file(fs, "data/trunc.bin")
+        assert "data/trunc.bin" in str(exc.value)
+        assert "trailing" in str(exc.value)
+
+    def test_truncated_point_file_raises(self, fs):
+        write_point_file(fs, "data/ptrunc.bin", [(1.0, 2.0), (3.0, 4.0)])
+        whole = fs.backing_path("data/ptrunc.bin").read_bytes()
+        fs.create_file("data/ptrunc.bin", whole + b"\x01")
+        with pytest.raises(ValueError):
+            read_point_file(fs, "data/ptrunc.bin")
+
+    def test_validate_record_file(self, fs):
+        fs.create_file("data/ok.bin", b"\x00" * 64)
+        assert validate_record_file(fs, "data/ok.bin", 16) == 4
+        fs.create_file("data/bad.bin", b"\x00" * 65)
+        with pytest.raises(ValueError):
+            validate_record_file(fs, "data/bad.bin", 16)
+        with pytest.raises(ValueError):
+            validate_record_file(fs, "data/ok.bin", 0)
+
+
+class TestNoncontigReader:
+    def test_fixed_roundrobin_rejects_partial_records(self, fs):
+        from repro.core import MPI_RECT, read_fixed_records_roundrobin
+        from repro.mpisim import run_spmd
+
+        envs = random_envelopes(8, seed=4)
+        write_mbr_file(fs, "data/rr.bin", envs, precision="float64")
+        whole = fs.backing_path("data/rr.bin").read_bytes()
+        fs.create_file("data/rr.bin", whole[:-7])
+
+        def prog(comm):
+            with pytest.raises(ValueError, match="trailing"):
+                read_fixed_records_roundrobin(comm, fs, "data/rr.bin", MPI_RECT, 2)
+            return True
+
+        assert all(run_spmd(prog, 2).values)
+
+    def test_fixed_roundrobin_still_reads_whole_files(self, fs):
+        from repro.core import MPI_RECT, read_fixed_records_roundrobin, unpack_rects
+        from repro.mpisim import run_spmd
+
+        envs = random_envelopes(10, seed=5)
+        write_mbr_file(fs, "data/rr_ok.bin", envs, precision="float64")
+
+        def prog(comm):
+            data = read_fixed_records_roundrobin(comm, fs, "data/rr_ok.bin", MPI_RECT, 2)
+            return unpack_rects(data)
+
+        ranks = run_spmd(prog, 2).values
+        got = sorted(e.as_tuple() for rank in ranks for e in rank)
+        assert got == sorted(e.as_tuple() for e in envs)

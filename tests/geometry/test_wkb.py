@@ -1,0 +1,136 @@
+"""WKB codec round-trip tests (property-based).
+
+The store's page format depends on `repro.geometry.wkb` being lossless, so
+these tests hammer the codec with multi-geometries, collinear rings and
+extreme coordinates.  Doubles survive `struct` packing bit-for-bit, so every
+round trip must reproduce the coordinates *exactly*.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    wkb,
+)
+
+# extreme but finite doubles: full float64 range plus subnormals
+coord_value = st.one_of(
+    st.floats(min_value=-1e308, max_value=1e308, allow_nan=False),
+    st.sampled_from([0.0, -0.0, 5e-324, -5e-324, 1.7976931348623157e308, -1.7976931348623157e308]),
+)
+coordinate = st.tuples(coord_value, coord_value)
+
+points = st.builds(Point, coord_value, coord_value)
+linestrings = st.builds(LineString, st.lists(coordinate, min_size=2, max_size=8))
+
+
+@st.composite
+def rings(draw):
+    """Closed rings, sometimes with deliberately collinear runs of vertices."""
+    x = draw(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    y = draw(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    w = draw(st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+    h = draw(st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+    if draw(st.booleans()):
+        # rectangle with collinear midpoints on every edge
+        return [
+            (x, y), (x + w / 2, y), (x + w, y),
+            (x + w, y + h / 2), (x + w, y + h),
+            (x + w / 2, y + h), (x, y + h), (x, y + h / 2), (x, y),
+        ]
+    return [(x, y), (x + w, y), (x + w, y + h), (x, y + h), (x, y)]
+
+
+polygons = st.builds(Polygon, rings())
+multipoints = st.builds(MultiPoint, st.lists(points, max_size=5))
+multilinestrings = st.builds(MultiLineString, st.lists(linestrings, max_size=4))
+multipolygons = st.builds(MultiPolygon, st.lists(polygons, max_size=3))
+collections = st.builds(
+    GeometryCollection,
+    st.lists(st.one_of(points, linestrings, polygons, multipoints), max_size=4),
+)
+any_geometry = st.one_of(
+    points, linestrings, polygons, multipoints, multilinestrings, multipolygons, collections
+)
+
+
+def assert_identical(a, b):
+    """Structural equality with exact coordinate comparison."""
+    assert a.geom_type == b.geom_type
+    if isinstance(a, Point):
+        assert (a.x, a.y) == (b.x, b.y)
+    elif isinstance(a, LineString):
+        assert list(a.coords) == list(b.coords)
+    elif isinstance(a, Polygon):
+        a_rings = [list(r.coords) for r in a.rings()]
+        b_rings = [list(r.coords) for r in b.rings()]
+        assert a_rings == b_rings
+    else:  # multi / collection
+        assert len(a) == len(b)
+        for ga, gb in zip(a, b):
+            assert_identical(ga, gb)
+
+
+class TestWKBPropertyRoundTrip:
+    @given(any_geometry)
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_exact(self, geom):
+        assert_identical(geom, wkb.loads(wkb.dumps(geom)))
+
+    @given(any_geometry)
+    @settings(max_examples=50, deadline=None)
+    def test_dumps_is_deterministic(self, geom):
+        encoded = wkb.dumps(geom)
+        assert encoded == wkb.dumps(wkb.loads(encoded))
+
+
+class TestWKBEdgeCases:
+    def test_collinear_ring(self):
+        poly = Polygon([(0, 0), (2, 0), (4, 0), (4, 4), (2, 4), (0, 4), (0, 0)])
+        assert_identical(poly, wkb.loads(wkb.dumps(poly)))
+
+    def test_polygon_with_hole(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10), (0, 0)],
+            [[(2, 2), (4, 2), (4, 4), (2, 4), (2, 2)]],
+        )
+        assert_identical(poly, wkb.loads(wkb.dumps(poly)))
+
+    def test_extreme_coordinates_bit_exact(self):
+        values = [1.7976931348623157e308, 5e-324, -0.0, 0.1 + 0.2, -1e300]
+        for v in values:
+            point = wkb.loads(wkb.dumps(Point(v, -v)))
+            # bit-for-bit, not merely ==: -0.0 must stay -0.0
+            assert struct.pack("<d", point.x) == struct.pack("<d", v)
+            assert struct.pack("<d", point.y) == struct.pack("<d", -v)
+
+    def test_empty_multis(self):
+        for geom in (MultiPoint([]), MultiLineString([]), MultiPolygon([]), GeometryCollection([])):
+            back = wkb.loads(wkb.dumps(geom))
+            assert back.geom_type == geom.geom_type
+            assert len(back) == 0
+
+    def test_nested_collection(self):
+        inner = GeometryCollection([Point(1, 2), MultiPoint([Point(3, 4)])])
+        outer = GeometryCollection([inner, LineString([(0, 0), (1e308, -1e308)])])
+        assert_identical(outer, wkb.loads(wkb.dumps(outer)))
+
+    def test_truncated_raises(self):
+        data = wkb.dumps(Polygon([(0, 0), (1, 0), (1, 1), (0, 0)]))
+        with pytest.raises(wkb.WKBParseError):
+            wkb.loads(data[:-4])
+
+    def test_unknown_type_code_raises(self):
+        bad = struct.pack("<bI", 1, 99) + struct.pack("<dd", 0, 0)
+        with pytest.raises(wkb.WKBParseError):
+            wkb.loads(bad)

@@ -95,6 +95,41 @@ class TestSTRtree:
         tree = STRtree(boxes)
         assert sorted(tree.query(search)) == brute_force(boxes, search)
 
+    def test_all_zero_area_items(self):
+        boxes = [(Envelope.of_point(i % 4, i // 4), i) for i in range(64)]
+        tree = STRtree(boxes, node_capacity=4)
+        search = Envelope(0, 0, 1, 1)
+        assert sorted(tree.query(search)) == brute_force(boxes, search)
+        assert tree.bounds == Envelope(0, 0, 3, 15)
+
+    def test_identical_centres(self):
+        boxes = [(Envelope(5 - i * 0.1, 5 - i * 0.1, 5 + i * 0.1, 5 + i * 0.1), i) for i in range(40)]
+        tree = STRtree(boxes, node_capacity=2)
+        search = Envelope(4.9, 4.9, 5.1, 5.1)
+        assert sorted(tree.query(search)) == brute_force(boxes, search)
+
+    def test_minimum_node_capacity_deep_tree(self):
+        boxes = make_boxes(300, seed=21)
+        tree = STRtree(boxes, node_capacity=2)
+        for seed in range(10):
+            rng = random.Random(seed)
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            search = Envelope(x, y, x + 60, y + 60)
+            assert sorted(tree.query(search)) == brute_force(boxes, search)
+
+    def test_from_packed_round_trip(self):
+        boxes = make_boxes(150, seed=8)
+        tree = STRtree(boxes, node_capacity=8)
+        adopted = STRtree.from_packed(tree._root, len(tree), node_capacity=8)
+        search = Envelope(100, 100, 400, 400)
+        assert sorted(adopted.query(search)) == sorted(tree.query(search))
+        assert adopted.stats().num_nodes == tree.stats().num_nodes
+
+    def test_from_packed_empty(self):
+        empty = STRtree.from_packed(None, 0)
+        assert empty.is_empty
+        assert empty.query(Envelope(0, 0, 1, 1)) == []
+
 
 class TestDynamicRTree:
     def test_empty(self):
@@ -154,6 +189,49 @@ class TestDynamicRTree:
         t = RTree(max_entries=4)
         t.extend(boxes)
         assert sorted(t.query(search)) == brute_force(boxes, search)
+
+    def test_all_infinite_envelopes(self):
+        """Regression: NaN enlargements used to duplicate split seeds and
+        crash _choose_leaf once every child envelope was infinite."""
+        import math
+
+        t = RTree(max_entries=4)
+        inf_env = Envelope(-math.inf, -math.inf, math.inf, math.inf)
+        for i in range(20):
+            t.insert(inf_env, i)
+        assert len(t) == 20
+        assert sorted(t.query(Envelope(0, 0, 1, 1))) == list(range(20))
+
+    def test_mixed_infinite_and_finite(self):
+        import math
+
+        t = RTree(max_entries=4)
+        boxes = []
+        rng = random.Random(3)
+        for i in range(60):
+            if i % 6 == 0:
+                env = Envelope(-math.inf, 0.0, math.inf, 1.0)
+            else:
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+                env = Envelope(x, y, x + 2, y + 2)
+            boxes.append((env, i))
+            t.insert(env, i)
+        search = Envelope(20, 20, 60, 60)
+        assert sorted(t.query(search)) == brute_force(boxes, search)
+
+    def test_zero_area_envelopes(self):
+        t = RTree(max_entries=4)
+        for i in range(30):
+            t.insert(Envelope.of_point(i % 3, i % 3), i)
+        assert len(t) == 30
+        assert sorted(t.query(Envelope.of_point(0, 0))) == [i for i in range(30) if i % 3 == 0]
+
+    def test_single_item(self):
+        t = RTree()
+        t.insert(Envelope(1, 1, 2, 2), "only")
+        assert t.query(Envelope(0, 0, 3, 3)) == ["only"]
+        assert t.query(Envelope(5, 5, 6, 6)) == []
+        assert t.stats().num_items == 1
 
     def test_cell_boundary_use_case(self):
         """The partitioning use case: index grid-cell rectangles, probe with

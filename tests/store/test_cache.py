@@ -1,0 +1,86 @@
+"""LRU page cache behaviour and statistics."""
+
+import pytest
+
+from repro.store import LRUPageCache
+
+
+class TestLRUPageCache:
+    def test_miss_then_hit(self):
+        cache = LRUPageCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_is_lru(self):
+        cache = LRUPageCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": now "b" is LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUPageCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, no eviction
+        cache.put("c", 3)   # evicts "b", the true LRU
+        assert cache.get("a") == 10
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_get_or_load_loads_once(self):
+        cache = LRUPageCache(4)
+        calls = []
+
+        def loader(key):
+            calls.append(key)
+            return key * 2
+
+        assert cache.get_or_load(3, loader) == 6
+        assert cache.get_or_load(3, loader) == 6
+        assert calls == [3]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUPageCache(0)
+        calls = []
+
+        def loader(key):
+            calls.append(key)
+            return key
+
+        cache.get_or_load("x", loader)
+        cache.get_or_load("x", loader)
+        assert calls == ["x", "x"]
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPageCache(-1)
+
+    def test_clear_keeps_stats(self):
+        cache = LRUPageCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        cache.stats.reset()
+        assert cache.stats.accesses == 0
+
+    def test_stats_as_dict(self):
+        cache = LRUPageCache(2)
+        cache.get("nope")
+        d = cache.stats.as_dict()
+        assert d["misses"] == 1
+        assert d["hit_rate"] == 0.0

@@ -1,0 +1,250 @@
+"""End-to-end datastore tests: bulk load, exact round-trip, pruning, serving.
+
+The acceptance bar of the subsystem lives here: a bulk-loaded dataset
+round-trips exactly (geometries and index), and a warm range query decodes
+only the pages it touches — asserted via cache statistics.
+"""
+
+import pytest
+
+from repro.core import RangeQuery, join_with_store
+from repro.core.join import join_cell
+from repro.datasets import SyntheticConfig, generate_dataset, random_envelopes
+from repro.core.reader import VectorIO
+from repro.geometry import Envelope, Point, Polygon, predicates
+from repro.index import GridCell
+from repro.pfs import LustreFilesystem
+from repro.store import SpatialDataStore, StoreFormatError, bulk_load
+
+
+@pytest.fixture(scope="module")
+def fs(tmp_path_factory):
+    return LustreFilesystem(tmp_path_factory.mktemp("storefs"), ost_count=8)
+
+
+@pytest.fixture(scope="module")
+def lakes(fs):
+    # explicit seed: the generator's default derives from hash(name), which
+    # PYTHONHASHSEED randomises per process
+    path = generate_dataset(fs, "lakes", scale=0.25, config=SyntheticConfig(seed=1234))
+    return VectorIO(fs).sequential_read(path).geometries
+
+
+@pytest.fixture(scope="module")
+def lakes_store(fs, lakes):
+    bulk_load(fs, "lakes", lakes, num_partitions=16, page_size=2048)
+    return SpatialDataStore.open(fs, "lakes", cache_pages=1024)
+
+
+def brute_force_range(geoms, env, exact=True):
+    window = Polygon.from_envelope(env)
+    out = []
+    for rid, g in enumerate(geoms):
+        if g.envelope.is_empty or not g.envelope.intersects(env):
+            continue
+        if exact and not predicates.intersects(window, g):
+            continue
+        out.append(rid)
+    return out
+
+
+class TestRoundTrip:
+    def test_every_record_round_trips_exactly(self, lakes, lakes_store):
+        scanned = list(lakes_store.scan())
+        assert len(scanned) == len(lakes)
+        for rid, geom in scanned:
+            assert geom.wkt() == lakes[rid].wkt()
+            assert geom.userdata == lakes[rid].userdata
+
+    def test_index_round_trips(self, lakes, lakes_store):
+        # the persisted index answers exactly like a freshly built one
+        assert len(lakes_store.index) == sum(
+            p.record_count for p in lakes_store.manifest.partitions
+        )
+        for env in random_envelopes(10, extent=lakes_store.extent, max_size_fraction=0.3, seed=1):
+            got = [h.record_id for h in lakes_store.range_query(env, exact=False)]
+            assert got == brute_force_range(lakes, env, exact=False)
+
+    def test_metadata_consistency(self, lakes, lakes_store):
+        assert len(lakes_store) == len(lakes)
+        assert lakes_store.num_pages == lakes_store.manifest.num_pages
+        total_pages = sum(len(p.page_ids) for p in lakes_store.manifest.partitions)
+        assert total_pages == lakes_store.num_pages
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, lakes, lakes_store):
+        for env in random_envelopes(25, extent=lakes_store.extent, max_size_fraction=0.15, seed=9):
+            got = [h.record_id for h in lakes_store.range_query(env)]
+            assert got == brute_force_range(lakes, env)
+
+    def test_geometry_window(self, lakes, lakes_store):
+        env = next(iter(random_envelopes(1, extent=lakes_store.extent, max_size_fraction=0.2, seed=4)))
+        window = Polygon.from_envelope(env)
+        via_env = [h.record_id for h in lakes_store.range_query(env)]
+        via_geom = [h.record_id for h in lakes_store.range_query(window)]
+        assert via_env == via_geom
+
+    def test_empty_window(self, lakes_store):
+        assert lakes_store.range_query(Envelope.empty()) == []
+
+    def test_disjoint_window_touches_no_page(self, fs, lakes):
+        bulk_load(fs, "lakes_disjoint", lakes, num_partitions=16, page_size=2048)
+        store = SpatialDataStore.open(fs, "lakes_disjoint")
+        far = Envelope(1e6, 1e6, 1e6 + 1, 1e6 + 1)
+        assert store.range_query(far) == []
+        assert store.stats.pages_read == 0
+        assert store.stats.cache.accesses == 0
+
+    def test_replicas_deduplicated(self, fs):
+        # one geometry spanning the whole grid is replicated to every
+        # partition but must be reported once
+        big = Polygon([(0, 0), (100, 0), (100, 100), (0, 100), (0, 0)], userdata="big")
+        points = [Point(x + 0.5, y + 0.5) for x in range(10) for y in range(10)]
+        bulk_load(fs, "dedup", [big] + points, num_partitions=16, page_size=512)
+        store = SpatialDataStore.open(fs, "dedup")
+        replicas = sum(p.record_count for p in store.manifest.partitions)
+        assert replicas > len(points) + 1  # replication actually happened
+        hits = store.range_query(Envelope(0, 0, 100, 100))
+        assert len(hits) == len(points) + 1
+        assert [h.record_id for h in hits] == list(range(len(points) + 1))
+
+
+class TestPageCacheBehaviour:
+    def test_warm_query_decodes_only_touched_pages(self, fs, lakes):
+        bulk_load(fs, "lakes_cache", lakes, num_partitions=16, page_size=2048)
+        store = SpatialDataStore.open(fs, "lakes_cache", cache_pages=1024)
+        # a window around an actual record guarantees at least one hit
+        env = lakes[len(lakes) // 2].envelope.buffer(0.5)
+
+        cold_hits = store.range_query(env)
+        cold_misses = store.stats.cache.misses
+        cold_io = store.stats.io_seconds
+        assert cold_hits
+        # only intersecting pages were fetched, never the whole container
+        assert 0 < cold_misses < store.num_pages
+        assert store.stats.pages_read == cold_misses
+
+        warm_hits = store.range_query(env)
+        assert [h.record_id for h in warm_hits] == [h.record_id for h in cold_hits]
+        # the warm query is served entirely from the cache: no new miss,
+        # no new page read, no new simulated I/O
+        assert store.stats.cache.misses == cold_misses
+        assert store.stats.pages_read == cold_misses
+        assert store.stats.io_seconds == cold_io
+        assert store.stats.cache.hits >= cold_misses
+
+    def test_tiny_cache_evicts_and_still_answers(self, fs, lakes):
+        bulk_load(fs, "lakes_tiny", lakes, num_partitions=16, page_size=2048)
+        store = SpatialDataStore.open(fs, "lakes_tiny", cache_pages=2)
+        for env in random_envelopes(5, extent=store.extent, max_size_fraction=0.2, seed=2):
+            got = [h.record_id for h in store.range_query(env)]
+            assert got == brute_force_range(lakes, env)
+        assert store.stats.cache.evictions > 0
+
+
+class TestJoinServing:
+    def test_join_matches_join_cell(self, fs, lakes, lakes_store):
+        probe_path = generate_dataset(fs, "cemetery", scale=0.5, config=SyntheticConfig(seed=99))
+        probes = VectorIO(fs).sequential_read(probe_path).geometries
+
+        pairs = join_with_store(lakes_store, probes)
+        got = sorted((id(p), h.wkt()) for p, h in ((pair.left, pair.right) for pair in pairs))
+
+        # sequential reference: one giant cell covering everything, no dedup
+        cell = GridCell(0, 0, 0, Envelope(-1e9, -1e9, 1e9, 1e9))
+        expected = join_cell(cell, probes, lakes, deduplicate=False)
+        want = sorted((id(p.left), p.right.wkt()) for p in expected)
+        assert got == want
+
+    def test_join_store_method_uses_predicate(self, fs, lakes, lakes_store):
+        from repro.core import SpatialJoin
+
+        probes = [Point(0, 0)]  # far corner; contains-style predicate
+        join = SpatialJoin(fs, predicate=predicates.contains)
+        pairs = join.join_store(lakes_store, probes)
+        for pair in pairs:
+            assert predicates.contains(pair.left, pair.right)
+
+
+class TestQueryServing:
+    def test_execute_from_store_matches_brute_force(self, lakes, lakes_store):
+        queries = [
+            (f"q{i}", env)
+            for i, env in enumerate(
+                random_envelopes(8, extent=lakes_store.extent, max_size_fraction=0.2, seed=13)
+            )
+        ]
+        rq = RangeQuery(lakes_store.fs, queries)
+        matches = rq.execute_from_store(lakes_store)
+        by_query = {}
+        for m in matches:
+            by_query.setdefault(m.query_id, []).append(m.geometry.wkt())
+        for qid, env in queries:
+            want = [lakes[rid].wkt() for rid in brute_force_range(lakes, env)]
+            assert by_query.get(qid, []) == want
+
+
+class TestOpenValidation:
+    def test_open_missing_store_raises(self, fs):
+        with pytest.raises(FileNotFoundError, match="bulk_load"):
+            SpatialDataStore.open(fs, "no_such_store")
+
+    def test_corrupt_header_raises(self, fs, lakes):
+        bulk_load(fs, "lakes_corrupt", lakes, num_partitions=4, page_size=2048)
+        data_path = "stores/lakes_corrupt/data.bin"
+        with fs.open(data_path, "r+") as fh:
+            fh.pwrite(0, b"XXXXXXXX")
+        with pytest.raises(StoreFormatError):
+            SpatialDataStore.open(fs, "lakes_corrupt")
+
+    def test_context_manager(self, fs, lakes):
+        bulk_load(fs, "lakes_ctx", lakes, num_partitions=4, page_size=2048)
+        with SpatialDataStore.open(fs, "lakes_ctx") as store:
+            assert store.range_query(store.extent)
+        assert store._handle is None
+
+
+class TestBulkLoad:
+    def test_empty_dataset(self, fs):
+        result = bulk_load(fs, "empty", [])
+        assert result.num_records == 0
+        store = SpatialDataStore.open(fs, "empty")
+        assert len(store) == 0
+        assert store.range_query(Envelope(0, 0, 1, 1)) == []
+        assert list(store.scan()) == []
+
+    def test_single_geometry(self, fs):
+        result = bulk_load(fs, "single", [Point(3, 4, userdata="only")])
+        assert result.num_records == 1
+        store = SpatialDataStore.open(fs, "single")
+        hits = store.range_query(Envelope(0, 0, 10, 10))
+        assert len(hits) == 1
+        assert hits[0].geometry.userdata == "only"
+
+    def test_skips_empty_geometries(self, fs):
+        from repro.geometry import MultiPoint
+
+        result = bulk_load(fs, "with_empty", [Point(1, 1), MultiPoint([])])
+        assert result.num_records == 1
+        assert result.skipped_empty == 1
+
+    def test_page_size_respected(self, fs, lakes):
+        result = bulk_load(fs, "lakes_pagesz", lakes, num_partitions=8, page_size=1024)
+        store = SpatialDataStore.open(fs, "lakes_pagesz")
+        oversized = [m for m in store.pages if m.nbytes > 1024 + 4 and m.count > 1]
+        assert not oversized  # only single-record pages may exceed the target
+        assert result.num_pages == store.num_pages
+
+    def test_bulk_load_classmethod(self, fs):
+        store, result = SpatialDataStore.bulk_load(fs, "clsmethod", [Point(0, 0), Point(1, 1)])
+        assert len(store) == 2
+        assert result.num_records == 2
+
+    def test_rejects_tiny_page_size(self, fs):
+        with pytest.raises(ValueError):
+            bulk_load(fs, "bad", [Point(0, 0)], page_size=8)
+
+    def test_write_seconds_accounted(self, fs, lakes):
+        result = bulk_load(fs, "lakes_ws", lakes)
+        assert result.write_seconds > 0

@@ -1,0 +1,95 @@
+"""Page/record/header codec tests for the store's binary container."""
+
+import pytest
+
+from repro.geometry import Envelope, LineString, Point, Polygon
+from repro.store.format import (
+    HEADER_SIZE,
+    PAGE_DIR_ENTRY,
+    PageMeta,
+    StoreFormatError,
+    decode_page,
+    encode_page,
+    encode_record,
+    pack_header,
+    pack_page_directory,
+    unpack_header,
+    unpack_page_directory,
+)
+
+
+def sample_geometries():
+    return [
+        Point(1.5, -2.5, userdata="a point"),
+        LineString([(0, 0), (3, 4), (10, 10)], userdata={"id": 7}),
+        Polygon([(0, 0), (4, 0), (4, 4), (0, 4), (0, 0)]),
+    ]
+
+
+class TestPageCodec:
+    def test_round_trip(self):
+        geoms = sample_geometries()
+        payload = encode_page([encode_record(i, g) for i, g in enumerate(geoms)])
+        decoded = decode_page(payload)
+        assert [rid for rid, _ in decoded] == [0, 1, 2]
+        for (rid, got), want in zip(decoded, geoms):
+            assert got.wkt() == want.wkt()
+            assert got.userdata == want.userdata
+
+    def test_empty_page(self):
+        assert decode_page(encode_page([])) == []
+
+    def test_truncated_payload_raises(self):
+        payload = encode_page([encode_record(0, Point(1, 2))])
+        with pytest.raises(StoreFormatError):
+            decode_page(payload[:-3])
+
+    def test_truncated_count_raises(self):
+        with pytest.raises(StoreFormatError):
+            decode_page(b"\x01")
+
+    def test_record_ids_preserved(self):
+        payload = encode_page([encode_record(42, Point(0, 0)), encode_record(7, Point(1, 1))])
+        assert [rid for rid, _ in decode_page(payload)] == [42, 7]
+
+
+class TestHeader:
+    def test_round_trip(self):
+        raw = pack_header(page_size=4096, num_pages=12, num_records=300, dir_offset=99999)
+        assert len(raw) == HEADER_SIZE
+        header = unpack_header(raw)
+        assert header.page_size == 4096
+        assert header.num_pages == 12
+        assert header.num_records == 300
+        assert header.dir_offset == 99999
+        assert header.dir_nbytes == 12 * PAGE_DIR_ENTRY.size
+
+    def test_bad_magic(self):
+        raw = b"NOTMAGIC" + pack_header(1, 1, 1, 1)[8:]
+        with pytest.raises(StoreFormatError, match="magic"):
+            unpack_header(raw)
+
+    def test_short_header(self):
+        with pytest.raises(StoreFormatError, match="header"):
+            unpack_header(b"\x00" * 10)
+
+
+class TestPageDirectory:
+    def test_round_trip(self):
+        metas = [
+            PageMeta(0, 64, 120, 3, Envelope(0, 0, 1, 1)),
+            PageMeta(1, 184, 80, 2, Envelope(-5, -5, 5, 5)),
+        ]
+        raw = pack_page_directory(metas)
+        back = unpack_page_directory(raw, 2)
+        assert back == metas
+
+    def test_empty_mbr_round_trips(self):
+        metas = [PageMeta(0, 64, 4, 0, Envelope.empty())]
+        back = unpack_page_directory(pack_page_directory(metas), 1)
+        assert back[0].mbr.is_empty
+
+    def test_size_mismatch_raises(self):
+        raw = pack_page_directory([PageMeta(0, 64, 10, 1, Envelope(0, 0, 1, 1))])
+        with pytest.raises(StoreFormatError, match="directory"):
+            unpack_page_directory(raw, 2)

@@ -1,0 +1,109 @@
+"""Round-trip tests for the persisted STR-packed R-tree."""
+
+import random
+
+import pytest
+
+from repro.geometry import Envelope
+from repro.index import STRtree
+from repro.store import RecordRef, StoreFormatError, dump_index, load_index
+
+
+def make_refs(n, seed=0, extent=1000.0):
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        x, y = rng.uniform(0, extent), rng.uniform(0, extent)
+        w, h = rng.uniform(0, 20), rng.uniform(0, 20)
+        items.append((Envelope(x, y, x + w, y + h), RecordRef(i // 8, i % 8)))
+    return items
+
+
+def assert_equivalent(a: STRtree, b: STRtree, seed=0):
+    assert len(a) == len(b)
+    assert a.bounds == b.bounds
+    rng = random.Random(seed)
+    for _ in range(25):
+        x, y = rng.uniform(-100, 1100), rng.uniform(-100, 1100)
+        w = rng.uniform(0, 200)
+        search = Envelope(x, y, x + w, y + w)
+        assert sorted(a.query(search)) == sorted(b.query(search))
+
+
+class TestIndexRoundTrip:
+    def test_empty_tree(self):
+        tree = STRtree([])
+        back = load_index(dump_index(tree))
+        assert back.is_empty
+        assert back.query(Envelope(0, 0, 1, 1)) == []
+        assert back.bounds.is_empty
+
+    def test_single_item(self):
+        tree = STRtree([(Envelope(0, 0, 1, 1), RecordRef(0, 0))])
+        back = load_index(dump_index(tree))
+        assert back.query(Envelope(0.5, 0.5, 2, 2)) == [RecordRef(0, 0)]
+        assert len(back) == 1
+
+    def test_zero_area_envelopes(self):
+        tree = STRtree([(Envelope.of_point(3, 3), RecordRef(0, i)) for i in range(10)])
+        back = load_index(dump_index(tree))
+        assert_equivalent(tree, back)
+        assert len(back.query(Envelope(2, 2, 4, 4))) == 10
+
+    @pytest.mark.parametrize("n", [5, 64, 500])
+    @pytest.mark.parametrize("cap", [2, 4, 16])
+    def test_many_items(self, n, cap):
+        tree = STRtree(make_refs(n, seed=n + cap), node_capacity=cap)
+        back = load_index(dump_index(tree))
+        assert back.node_capacity == cap
+        assert_equivalent(tree, back, seed=n)
+
+    def test_structure_preserved(self):
+        tree = STRtree(make_refs(300, seed=2), node_capacity=8)
+        back = load_index(dump_index(tree))
+        assert tree.stats().num_nodes == back.stats().num_nodes
+        assert tree.stats().height == back.stats().height
+
+    def test_double_round_trip_is_stable(self):
+        tree = STRtree(make_refs(100, seed=5))
+        once = dump_index(tree)
+        twice = dump_index(load_index(once))
+        assert once == twice
+
+
+class TestIndexValidation:
+    def test_bad_magic(self):
+        data = dump_index(STRtree(make_refs(10)))
+        with pytest.raises(StoreFormatError, match="magic"):
+            load_index(b"XXXXXXXX" + data[8:])
+
+    def test_truncated(self):
+        data = dump_index(STRtree(make_refs(50)))
+        with pytest.raises(StoreFormatError):
+            load_index(data[:-5])
+
+    def test_trailing_garbage(self):
+        data = dump_index(STRtree(make_refs(10)))
+        with pytest.raises(StoreFormatError, match="trailing"):
+            load_index(data + b"\x00")
+
+    def test_short_header(self):
+        with pytest.raises(StoreFormatError):
+            load_index(b"\x01\x02")
+
+
+class TestFromPacked:
+    def test_rejects_inconsistent_emptiness(self):
+        with pytest.raises(ValueError):
+            STRtree.from_packed(None, 5)
+        tree = STRtree(make_refs(3))
+        with pytest.raises(ValueError):
+            STRtree.from_packed(tree._root, 0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            STRtree.from_packed(None, 0, node_capacity=1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            STRtree.from_packed(None, -1)

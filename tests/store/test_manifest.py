@@ -1,0 +1,61 @@
+"""Manifest JSON round-trip and partition pruning."""
+
+import pytest
+
+from repro.geometry import Envelope
+from repro.store import PartitionInfo, StoreManifest, store_paths
+
+
+def make_manifest():
+    return StoreManifest(
+        name="lakes",
+        page_size=4096,
+        num_records=100,
+        num_pages=3,
+        extent=Envelope(0, 0, 100, 100),
+        grid_rows=2,
+        grid_cols=2,
+        partitions=[
+            PartitionInfo(0, Envelope(0, 0, 50, 50), Envelope(5, 5, 45, 45), [0, 1], 60),
+            PartitionInfo(3, Envelope(50, 50, 100, 100), Envelope(60, 60, 90, 90), [2], 40),
+        ],
+    )
+
+
+class TestManifest:
+    def test_json_round_trip(self):
+        m = make_manifest()
+        back = StoreManifest.from_json(m.to_json())
+        assert back == m
+
+    def test_empty_extent_round_trips(self):
+        m = make_manifest()
+        m.extent = Envelope.empty()
+        back = StoreManifest.from_json(m.to_json())
+        assert back.extent.is_empty
+
+    def test_partition_pruning(self):
+        m = make_manifest()
+        assert [p.partition_id for p in m.partitions_for(Envelope(0, 0, 10, 10))] == [0]
+        assert [p.partition_id for p in m.partitions_for(Envelope(70, 70, 80, 80))] == [3]
+        # between the two data MBRs: nothing qualifies
+        assert m.partitions_for(Envelope(46, 46, 55, 55)) == []
+        assert m.partitions_for(Envelope.empty()) == []
+
+    def test_partition_of_page(self):
+        owner = make_manifest().partition_of_page()
+        assert owner == {0: 0, 1: 0, 2: 3}
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError, match="manifest"):
+            StoreManifest.from_json('{"format": "something-else"}')
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ValueError, match="JSON"):
+            StoreManifest.from_json("{nope")
+
+    def test_store_paths_layout(self):
+        paths = store_paths("roads")
+        assert paths["data"] == "stores/roads/data.bin"
+        assert paths["index"] == "stores/roads/index.bin"
+        assert paths["manifest"] == "stores/roads/manifest.json"

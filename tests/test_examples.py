@@ -4,6 +4,7 @@ The examples are part of the public deliverable; each must run without error
 in a few seconds and print its summary output.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -12,6 +13,11 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: subprocesses must see src/ regardless of how pytest itself was launched
+#: (the pyproject `pythonpath` setting only extends this process's sys.path)
+_SRC = str(EXAMPLES_DIR.parent / "src")
+ENV = {**os.environ, "PYTHONPATH": _SRC + os.pathsep + os.environ.get("PYTHONPATH", "")}
 
 
 def test_examples_directory_is_complete():
@@ -26,6 +32,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=240,
+        env=ENV,
     )
     assert proc.returncode == 0, f"{script} failed:\n{proc.stdout}\n{proc.stderr}"
     assert proc.stdout.strip(), f"{script} produced no output"
@@ -37,6 +44,7 @@ def test_quickstart_output_mentions_polygons():
         capture_output=True,
         text=True,
         timeout=240,
+        env=ENV,
     )
     assert "polygons" in proc.stdout
     assert "simulated end-to-end time" in proc.stdout
