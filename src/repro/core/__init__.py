@@ -28,7 +28,13 @@ from .grid_partition import (
     partition_geometries,
 )
 from .indexing import CellIndex, DistributedIndex, IndexBuildReport
-from .join import JoinPair, SpatialJoin, join_cell, join_with_store
+from .join import (
+    JoinPair,
+    SpatialJoin,
+    join_cell,
+    join_distributed_with_store,
+    join_with_store,
+)
 from .noncontig import (
     RecordIndex,
     build_record_index,
@@ -136,6 +142,7 @@ __all__ = [
     "JoinPair",
     "join_cell",
     "join_with_store",
+    "join_distributed_with_store",
     "DistributedIndex",
     "CellIndex",
     "IndexBuildReport",

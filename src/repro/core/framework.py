@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from ..geometry import Geometry
 from ..index import GridCell, UniformGrid
@@ -31,6 +31,9 @@ from .grid_partition import (
 from .parsers import GeometryParser, WKTParser
 from .partition import PartitionConfig
 from .reader import VectorIO
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store.sharded import DistributedStoreServer
 
 __all__ = ["PhaseBreakdown", "ComputationResult", "SpatialComputation"]
 
@@ -143,7 +146,37 @@ class SpatialComputation(ABC):
             right_report = vio.read_geometries(comm, right_path, self.parser())
             right_geoms = right_report.geometries
         left_geoms = left_report.geometries
+        return self._run_partitioned(comm, left_geoms, right_geoms, right_path is not None)
 
+    def run_from_store(
+        self,
+        comm: Communicator,
+        server: "DistributedStoreServer",
+        right_path: Optional[str] = None,
+    ) -> ComputationResult:
+        """Execute the pipeline with the left layer read from a sharded store.
+
+        Instead of re-reading and re-parsing the raw dataset, every rank
+        decodes the pages of its own shard(s) through the server's LRU page
+        caches; the store's ownership rule guarantees each logical record
+        enters the pipeline exactly once across ranks, after which the usual
+        extent / grid / exchange / refine phases apply unchanged.
+        """
+        left_geoms = server.local_geometries()
+        right_geoms: List[Geometry] = []
+        if right_path is not None:
+            vio = VectorIO(self.fs, self.partition_config, self.strategy)
+            right_geoms = vio.read_geometries(comm, right_path, self.parser()).geometries
+        return self._run_partitioned(comm, left_geoms, right_geoms, right_path is not None)
+
+    def _run_partitioned(
+        self,
+        comm: Communicator,
+        left_geoms: Sequence[Geometry],
+        right_geoms: Sequence[Geometry],
+        two_layers: bool,
+    ) -> ComputationResult:
+        """Shared back half of the pipeline: extent, grid, exchange, refine."""
         # Global extent covers both layers (single MPI_UNION reduction).
         extent = compute_global_extent(
             comm, list(left_geoms) + list(right_geoms), margin=self.grid_config.extent_margin
@@ -162,7 +195,7 @@ class SpatialComputation(ABC):
         owned_left = exchange_cells(comm, left_cells, mapping, window=self.exchange_window)
         owned_right = (
             exchange_cells(comm, right_cells, mapping, window=self.exchange_window)
-            if right_path is not None
+            if two_layers
             else {}
         )
 

@@ -29,8 +29,15 @@ from .partition import PartitionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..store import SpatialDataStore
+    from ..store.sharded import DistributedStoreServer
 
-__all__ = ["JoinPair", "SpatialJoin", "join_cell", "join_with_store"]
+__all__ = [
+    "JoinPair",
+    "SpatialJoin",
+    "join_cell",
+    "join_with_store",
+    "join_distributed_with_store",
+]
 
 Predicate = Callable[[Geometry, Geometry], bool]
 
@@ -103,6 +110,32 @@ def join_with_store(
     ]
 
 
+def join_distributed_with_store(
+    comm: Communicator,
+    server: "DistributedStoreServer",
+    probes: Optional[Sequence[Geometry]],
+    predicate: Predicate = predicates.intersects,
+    broadcast: bool = False,
+) -> Optional[List[JoinPair]]:
+    """Join in-memory *probes* against a sharded store across ranks (collective).
+
+    The distributed counterpart of :func:`join_with_store`: rank 0 supplies
+    the probes, the server routes each probe MBR to the intersecting shards,
+    ranks filter-and-refine locally through their page caches, and rank 0
+    receives pairs de-duplicated on ``(probe, record_id)``.  ``cell_id`` is
+    the global partition of the replica that served the pair.
+    """
+    pairs = server.join(
+        probes if comm.rank == 0 else None, predicate, broadcast=broadcast
+    )
+    if pairs is None:
+        return None
+    return [
+        JoinPair(left=probe, right=hit.geometry, cell_id=hit.partition_id)
+        for probe, hit in pairs
+    ]
+
+
 class SpatialJoin(SpatialComputation):
     """Distributed spatial join over two WKT layers.
 
@@ -141,6 +174,18 @@ class SpatialJoin(SpatialComputation):
     def join_store(self, store: "SpatialDataStore", probes: Sequence[Geometry]) -> List[JoinPair]:
         """Serve this join's predicate against a persistent datastore."""
         return join_with_store(store, probes, self.predicate)
+
+    def join_store_distributed(
+        self,
+        comm: Communicator,
+        server: "DistributedStoreServer",
+        probes: Optional[Sequence[Geometry]],
+        broadcast: bool = False,
+    ) -> Optional[List[JoinPair]]:
+        """Serve this join's predicate against a sharded store (collective)."""
+        return join_distributed_with_store(
+            comm, server, probes, self.predicate, broadcast=broadcast
+        )
 
     # ------------------------------------------------------------------ #
     def count_pairs(self, comm: Communicator, left_path: str, right_path: str) -> int:

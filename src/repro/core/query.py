@@ -22,6 +22,7 @@ from .partition import PartitionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..store import SpatialDataStore
+    from ..store.sharded import DistributedStoreServer
 
 __all__ = ["QueryMatch", "RangeQuery"]
 
@@ -101,6 +102,32 @@ class RangeQuery(SpatialComputation):
                     QueryMatch(query_id=qid, geometry=hit.geometry, cell_id=hit.partition_id)
                 )
         return matches
+
+    # ------------------------------------------------------------------ #
+    def execute_distributed_from_store(
+        self,
+        comm: Communicator,
+        server: "DistributedStoreServer",
+        broadcast: bool = False,
+    ) -> Optional[List[QueryMatch]]:
+        """Serve the query batch from a sharded store across ranks (collective).
+
+        The distributed counterpart of :meth:`execute_from_store`: the server
+        routes each window to the shards whose extents it intersects, scatters
+        the batch, answers through the per-rank page caches and gathers the
+        record-id-de-duplicated hits at rank 0.  Rank 0 returns the matches
+        (``cell_id`` is the global partition that served the hit, as in the
+        single-store path); other ranks return ``None`` unless *broadcast*.
+        """
+        hits = server.range_query_batch(
+            self.queries if comm.rank == 0 else None, exact=True, broadcast=broadcast
+        )
+        if hits is None:
+            return None
+        return [
+            QueryMatch(query_id=h.query_id, geometry=h.geometry, cell_id=h.partition_id)
+            for h in hits
+        ]
 
     # ------------------------------------------------------------------ #
     def execute(self, comm: Communicator, data_path: str) -> List[QueryMatch]:

@@ -24,13 +24,36 @@ for it again:
 ``repro.store.datastore``
     The :class:`SpatialDataStore` facade: ``open()``, ``range_query()``,
     ``join()``.
+
+``repro.store.sharded`` / ``repro.store.router``
+    Distributed serving: :class:`ShardedStoreWriter` splits a bulk load into
+    per-rank shard stores routed by a top-level ``shards.json`` manifest,
+    and :class:`DistributedStoreServer` serves batch range queries and joins
+    SPMD-style across ``mpisim`` ranks.
 """
 
 from .cache import CacheStats, LRUPageCache
 from .datastore import QueryHit, SpatialDataStore, StoreStats
-from .format import PageMeta, RecordRef, StoreFormatError, StoreHeader
+from .format import PageMeta, RecordRef, StoreError, StoreFormatError, StoreHeader
 from .index_io import dump_index, load_index
-from .manifest import PartitionInfo, StoreManifest, store_paths
+from .manifest import (
+    PartitionInfo,
+    ShardInfo,
+    ShardsManifest,
+    StoreManifest,
+    shard_store_name,
+    shards_path,
+    store_paths,
+)
+from .router import ShardRouter, shard_assignment
+from .sharded import (
+    DistributedHit,
+    DistributedStoreServer,
+    ShardError,
+    ShardedLoadResult,
+    ShardedStoreWriter,
+    sharded_bulk_load,
+)
 from .writer import BulkLoadResult, bulk_load
 
 __all__ = [
@@ -39,15 +62,28 @@ __all__ = [
     "StoreStats",
     "CacheStats",
     "LRUPageCache",
+    "StoreError",
     "StoreFormatError",
     "StoreHeader",
     "PageMeta",
     "RecordRef",
     "StoreManifest",
     "PartitionInfo",
+    "ShardInfo",
+    "ShardsManifest",
+    "ShardRouter",
+    "shard_assignment",
+    "shard_store_name",
+    "shards_path",
     "store_paths",
     "BulkLoadResult",
     "bulk_load",
     "dump_index",
     "load_index",
+    "DistributedHit",
+    "DistributedStoreServer",
+    "ShardError",
+    "ShardedLoadResult",
+    "ShardedStoreWriter",
+    "sharded_bulk_load",
 ]

@@ -41,6 +41,7 @@ __all__ = [
     "VERSION",
     "HEADER_SIZE",
     "PAGE_DIR_ENTRY",
+    "StoreError",
     "StoreFormatError",
     "StoreHeader",
     "PageMeta",
@@ -71,7 +72,17 @@ _RECORD_PREFIX = struct.Struct("<III")
 _PAGE_COUNT = struct.Struct("<I")
 
 
-class StoreFormatError(ValueError):
+class StoreError(Exception):
+    """Base class of every store-serving failure.
+
+    Distributed serving catches low-level decode failures (struct, pickle,
+    WKB) at shard boundaries and re-raises them as :class:`StoreError`
+    naming the failing shard, so a corrupted shard never surfaces as a raw
+    ``struct.error`` in the middle of a collective.
+    """
+
+
+class StoreFormatError(StoreError, ValueError):
     """Raised when a store file is malformed, truncated or mis-versioned."""
 
 

@@ -16,9 +16,20 @@ from typing import Dict, List, Optional, Sequence
 
 from ..geometry import Envelope
 
-__all__ = ["MANIFEST_VERSION", "PartitionInfo", "StoreManifest", "store_paths"]
+__all__ = [
+    "MANIFEST_VERSION",
+    "SHARDS_VERSION",
+    "PartitionInfo",
+    "StoreManifest",
+    "ShardInfo",
+    "ShardsManifest",
+    "store_paths",
+    "shard_store_name",
+    "shards_path",
+]
 
 MANIFEST_VERSION = 1
+SHARDS_VERSION = 1
 
 
 def store_paths(name: str) -> Dict[str, str]:
@@ -29,6 +40,17 @@ def store_paths(name: str) -> Dict[str, str]:
         "index": f"{base}/index.bin",
         "manifest": f"{base}/manifest.json",
     }
+
+
+def shard_store_name(name: str, shard_id: int) -> str:
+    """Store name of one shard of a sharded store (a normal store nested
+    under the parent's directory, so each shard is openable on its own)."""
+    return f"{name}/shard-{shard_id:04d}"
+
+
+def shards_path(name: str) -> str:
+    """Path of the top-level routing manifest of a sharded store."""
+    return f"stores/{name}/shards.json"
 
 
 def _env_to_json(env: Envelope) -> Optional[List[float]]:
@@ -141,5 +163,130 @@ class StoreManifest:
             grid_rows=doc["grid"]["rows"],
             grid_cols=doc["grid"]["cols"],
             partitions=partitions,
+            version=doc["version"],
+        )
+
+
+@dataclass
+class ShardInfo:
+    """One shard of a sharded store (a contiguous run of grid partitions)."""
+
+    shard_id: int
+    #: store name of the shard (pass to ``SpatialDataStore.open``)
+    store: str
+    #: global grid partition ids held by this shard (may be empty)
+    partition_ids: List[int] = field(default_factory=list)
+    #: tight MBR of the data stored in the shard (routing prunes on this)
+    extent: Envelope = field(default_factory=Envelope.empty)
+    #: distinct logical records in the shard
+    num_records: int = 0
+    #: record replicas in the shard (>= num_records with replication)
+    num_replicas: int = 0
+    num_pages: int = 0
+
+
+@dataclass
+class ShardsManifest:
+    """Top-level routing manifest (``shards.json``) of a sharded store.
+
+    The sharded analogue of :class:`StoreManifest`: where a single store
+    prunes partitions against the manifest, distributed serving first prunes
+    *shards* against the per-shard extents recorded here, then lets each
+    shard prune its own partitions locally.  The global grid shape is kept so
+    every rank can recompute partition ownership without communication.
+    """
+
+    name: str
+    page_size: int
+    #: distinct logical records across all shards
+    num_records: int
+    extent: Envelope
+    grid_rows: int
+    grid_cols: int
+    shards: List[ShardInfo] = field(default_factory=list)
+    version: int = SHARDS_VERSION
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shards_for(self, window: Envelope) -> List[ShardInfo]:
+        """Shard-level pruning: shards whose data extent intersects."""
+        if window.is_empty:
+            return []
+        return [s for s in self.shards if not s.extent.is_empty and s.extent.intersects(window)]
+
+    def partition_to_shard(self) -> Dict[int, int]:
+        """Map every global partition id to the shard that owns it."""
+        owner: Dict[int, int] = {}
+        for shard in self.shards:
+            for pid in shard.partition_ids:
+                owner[pid] = shard.shard_id
+        return owner
+
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        doc = {
+            "format": "repro.store.shards",
+            "version": self.version,
+            "name": self.name,
+            "page_size": self.page_size,
+            "num_records": self.num_records,
+            "extent": _env_to_json(self.extent),
+            "grid": {"rows": self.grid_rows, "cols": self.grid_cols},
+            "shards": [
+                {
+                    "id": s.shard_id,
+                    "store": s.store,
+                    "partitions": s.partition_ids,
+                    "extent": _env_to_json(s.extent),
+                    "records": s.num_records,
+                    "replicas": s.num_replicas,
+                    "pages": s.num_pages,
+                }
+                for s in self.shards
+            ],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ShardsManifest":
+        # StoreFormatError (a ValueError subclass) keeps the serving-path
+        # contract: corruption of any store file — the routing manifest
+        # included — surfaces as a StoreError, never a bare exception
+        from .format import StoreFormatError
+
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreFormatError(f"shards manifest is not valid JSON: {exc}") from exc
+        if doc.get("format") != "repro.store.shards":
+            raise StoreFormatError("not a repro.store shards manifest document")
+        if doc.get("version") != SHARDS_VERSION:
+            raise StoreFormatError(
+                f"unsupported shards manifest version {doc.get('version')} "
+                f"(expected {SHARDS_VERSION})"
+            )
+        shards = [
+            ShardInfo(
+                shard_id=s["id"],
+                store=s["store"],
+                partition_ids=list(s["partitions"]),
+                extent=_env_from_json(s["extent"]),
+                num_records=s["records"],
+                num_replicas=s["replicas"],
+                num_pages=s["pages"],
+            )
+            for s in doc["shards"]
+        ]
+        return ShardsManifest(
+            name=doc["name"],
+            page_size=doc["page_size"],
+            num_records=doc["num_records"],
+            extent=_env_from_json(doc["extent"]),
+            grid_rows=doc["grid"]["rows"],
+            grid_cols=doc["grid"]["cols"],
+            shards=shards,
             version=doc["version"],
         )

@@ -1,0 +1,637 @@
+"""Sharded persistence and distributed serving of `repro.store`.
+
+The single-process :class:`~repro.store.datastore.SpatialDataStore` serves a
+dataset from one page cache; the paper's end-to-end applications (§5–§6) are
+multi-rank.  This module closes the gap:
+
+* :class:`ShardedStoreWriter` splits one bulk load into per-rank shard
+  stores — contiguous runs of grid partitions balanced by record count, each
+  shard a normal ``data.bin``/``index.bin``/``manifest.json`` triple — plus
+  a top-level ``shards.json`` routing manifest.
+* :class:`DistributedStoreServer` opens one shard (run) per ``mpisim`` rank
+  and serves batch range queries and joins SPMD-style: the router prunes the
+  shard list via per-shard extents, query batches are scattered with the
+  existing :class:`~repro.mpisim.comm.Communicator` collectives, ranks
+  answer locally through their LRU page caches, and results are gathered and
+  de-duplicated on logical ``record_id`` (replicas of a geometry may live in
+  multiple shards).
+
+Every serving call records a virtual-clock phase breakdown
+(``route`` / ``scatter`` / ``local_query`` / ``gather``) so benchmarks can
+report per-phase time like the paper's Fig. 9-style breakdowns.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..geometry import Envelope, Geometry, Polygon, predicates
+from ..mpisim import Communicator
+from ..pfs import ReadRequest, SimulatedFilesystem
+from .datastore import QueryHit, SpatialDataStore
+from .format import StoreError, StoreFormatError
+from .manifest import ShardInfo, ShardsManifest, shard_store_name, shards_path
+from .router import ShardRouter, shard_assignment
+from .writer import (
+    BulkLoadResult,
+    pack_partitions,
+    partition_records,
+    write_store_files,
+)
+
+__all__ = [
+    "DistributedHit",
+    "DistributedStoreServer",
+    "ShardError",
+    "ShardedLoadResult",
+    "ShardedStoreWriter",
+    "sharded_bulk_load",
+]
+
+
+class ShardError(StoreError):
+    """A store failure attributed to one shard of a sharded store."""
+
+    def __init__(self, message: str, shard_id: int, store: str) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.store = store
+
+Predicate = Callable[[Geometry, Geometry], bool]
+
+#: phase names every serving call charges (in order)
+SERVING_PHASES = ("route", "scatter", "local_query", "gather")
+
+#: low-level exceptions a corrupted shard file may surface as; the server
+#: converts them into a StoreError naming the shard
+_SHARD_DECODE_ERRORS = (
+    StoreFormatError,
+    struct.error,
+    pickle.UnpicklingError,
+    EOFError,
+    IndexError,
+    ValueError,
+)
+
+
+# --------------------------------------------------------------------------- #
+# writing
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardedLoadResult:
+    """Summary of one sharded bulk load."""
+
+    manifest: ShardsManifest
+    shard_results: List[BulkLoadResult]
+    num_records: int
+    num_replicas: int
+    num_shards: int
+    skipped_empty: int
+    write_seconds: float
+
+
+def _contiguous_runs(counts: List[Tuple[int, int]], num_shards: int) -> List[List[int]]:
+    """Split ``(partition_id, record_count)`` pairs (sorted by id) into
+    *num_shards* contiguous runs balanced by record count.
+
+    Shards may come out empty when there are more shards than non-empty
+    partitions — serving handles that (the shard is a valid empty store).
+    """
+    runs: List[List[int]] = []
+    idx = 0
+    remaining = sum(c for _, c in counts)
+    for s in range(num_shards):
+        shards_left = num_shards - s
+        parts_left = len(counts) - idx
+        if parts_left <= 0:
+            runs.append([])
+            continue
+        if shards_left >= parts_left:
+            # one partition per remaining shard (some shards stay empty)
+            runs.append([counts[idx][0]])
+            remaining -= counts[idx][1]
+            idx += 1
+            continue
+        target = remaining / shards_left
+        run: List[int] = []
+        run_count = 0
+        while idx < len(counts) and len(counts) - idx > shards_left - 1:
+            cid, c = counts[idx]
+            if run and run_count + 0.5 * c > target:
+                break
+            run.append(cid)
+            run_count += c
+            idx += 1
+        runs.append(run)
+        remaining -= run_count
+    while idx < len(counts):  # numeric slack: sweep leftovers into the last run
+        runs[-1].append(counts[idx][0])
+        idx += 1
+    return runs
+
+
+class ShardedStoreWriter:
+    """Bulk-load one dataset as *num_shards* shard stores plus ``shards.json``.
+
+    The dataset is grid-partitioned **once** (replication included, exactly
+    like :func:`repro.store.writer.bulk_load`); the sorted non-empty
+    partitions are then split into contiguous runs balanced by record count
+    and each run is persisted as a self-contained store under
+    ``stores/<name>/shard-NNNN/``.  Partition ids in the shard manifests stay
+    *global*, so a shard's query results report the same partitions a
+    single-store load would.
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedFilesystem,
+        name: str,
+        num_shards: int = 4,
+        num_partitions: int = 16,
+        page_size: int = 4096,
+        node_capacity: int = 16,
+        order: str = "hilbert",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if page_size < 64:
+            raise ValueError("page_size must be >= 64 bytes")
+        self.fs = fs
+        self.name = name
+        self.num_shards = num_shards
+        self.num_partitions = num_partitions
+        self.page_size = page_size
+        self.node_capacity = node_capacity
+        self.order = order
+
+    # ------------------------------------------------------------------ #
+    def load(self, geometries: Iterable[Geometry]) -> ShardedLoadResult:
+        usable, grid, cells, skipped, extent = partition_records(
+            geometries, self.num_partitions
+        )
+        counts = [(cid, len(cells[cid])) for cid in sorted(cells)]
+        runs = _contiguous_runs(counts, self.num_shards)
+
+        shard_infos: List[ShardInfo] = []
+        shard_results: List[BulkLoadResult] = []
+        total_replicas = 0
+        write_seconds = 0.0
+
+        for shard_id, run in enumerate(runs):
+            shard_cells = {cid: cells[cid] for cid in run}
+            packed = pack_partitions(shard_cells, grid, self.page_size, self.order)
+            store = shard_store_name(self.name, shard_id)
+            manifest, paths, data_bytes, index_bytes, shard_write = write_store_files(
+                self.fs,
+                store,
+                packed,
+                page_size=self.page_size,
+                extent=packed.data_extent,
+                grid_rows=grid.rows,
+                grid_cols=grid.cols,
+                num_records=len(packed.record_ids),
+                node_capacity=self.node_capacity,
+            )
+            write_seconds += shard_write
+            total_replicas += packed.num_replicas
+            shard_infos.append(
+                ShardInfo(
+                    shard_id=shard_id,
+                    store=store,
+                    partition_ids=list(run),
+                    extent=packed.data_extent,
+                    num_records=len(packed.record_ids),
+                    num_replicas=packed.num_replicas,
+                    num_pages=len(packed.page_metas),
+                )
+            )
+            shard_results.append(
+                BulkLoadResult(
+                    manifest=manifest,
+                    paths=paths,
+                    num_records=len(packed.record_ids),
+                    num_replicas=packed.num_replicas,
+                    num_pages=len(packed.page_metas),
+                    num_partitions=len(packed.partitions),
+                    data_bytes=data_bytes,
+                    index_bytes=index_bytes,
+                    skipped_empty=0,
+                    write_seconds=shard_write,
+                )
+            )
+
+        shards_manifest = ShardsManifest(
+            name=self.name,
+            page_size=self.page_size,
+            num_records=len(usable),
+            extent=extent,
+            grid_rows=grid.rows,
+            grid_cols=grid.cols,
+            shards=shard_infos,
+        )
+        blob = shards_manifest.to_json().encode("utf-8")
+        path = shards_path(self.name)
+        self.fs.create_file(path, blob)
+        write_seconds += self.fs.open_time()
+        write_seconds += self.fs.write_time(path, [ReadRequest(0, ((0, len(blob)),))])
+
+        return ShardedLoadResult(
+            manifest=shards_manifest,
+            shard_results=shard_results,
+            num_records=len(usable),
+            num_replicas=total_replicas,
+            num_shards=self.num_shards,
+            skipped_empty=skipped,
+            write_seconds=write_seconds,
+        )
+
+
+def sharded_bulk_load(
+    fs: SimulatedFilesystem,
+    name: str,
+    geometries: Iterable[Geometry],
+    num_shards: int = 4,
+    **options: Any,
+) -> ShardedLoadResult:
+    """Convenience wrapper over :class:`ShardedStoreWriter`."""
+    return ShardedStoreWriter(fs, name, num_shards=num_shards, **options).load(geometries)
+
+
+# --------------------------------------------------------------------------- #
+# serving
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DistributedHit:
+    """One de-duplicated record matched by a distributed query."""
+
+    query_id: Any
+    record_id: int
+    geometry: Geometry
+    shard_id: int
+    partition_id: int
+    page_id: int
+
+
+class DistributedStoreServer:
+    """SPMD facade serving one sharded store across ``mpisim`` ranks.
+
+    Construct it inside an SPMD target function via :meth:`open`; every rank
+    of the communicator must participate in every serving call (they are
+    collectives).  Rank 0 is the *router*: it supplies the query batch,
+    receives the gathered results and performs the record-id de-dup; other
+    ranks pass ``None`` batches and receive ``None`` results unless
+    ``broadcast=True``.
+
+    Shards are assigned to ranks contiguously (see
+    :func:`repro.store.router.shard_assignment`); with fewer ranks than
+    shards a rank serves several shards, with more ranks than shards the
+    extra ranks only take part in the collectives.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        fs: SimulatedFilesystem,
+        manifest: ShardsManifest,
+        cache_pages: int = 64,
+    ) -> None:
+        self.comm = comm
+        self.fs = fs
+        self.manifest = manifest
+        self.router = ShardRouter(manifest)
+        self.assignment = shard_assignment(manifest.num_shards, comm.size)
+        self.my_shards = sorted(
+            sid for sid, rank in self.assignment.items() if rank == comm.rank
+        )
+        self.stores: Dict[int, SpatialDataStore] = {}
+        #: cumulative per-phase simulated seconds on this rank
+        self.phases: Dict[str, float] = {name: 0.0 for name in SERVING_PHASES}
+        self.queries_served = 0
+        for sid in self.my_shards:
+            shard = manifest.shards[sid]
+            with self._shard_guard(shard, "open"):
+                self.stores[sid] = SpatialDataStore.open(
+                    fs, shard.store, cache_pages=cache_pages
+                )
+            self.comm.clock.advance(self.stores[sid].stats.io_seconds, category="io")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        comm: Communicator,
+        fs: SimulatedFilesystem,
+        name: str,
+        cache_pages: int = 64,
+    ) -> "DistributedStoreServer":
+        """Collectively open a sharded store: rank 0 reads ``shards.json``
+        and broadcasts it, then every rank opens its assigned shards."""
+        manifest: Optional[ShardsManifest] = None
+        if comm.rank == 0:
+            path = shards_path(name)
+            if not fs.exists(path):
+                raise FileNotFoundError(
+                    f"sharded store {name!r} is missing {path!r}; "
+                    f"run ShardedStoreWriter.load first"
+                )
+            with fs.open(path) as fh:
+                raw = fh.pread(0, fh.size)
+            comm.clock.advance(fs.open_time(), category="io")
+            comm.clock.advance(
+                fs.read_time(path, [ReadRequest(0, ((0, len(raw)),))]), category="io"
+            )
+            manifest = ShardsManifest.from_json(raw.decode("utf-8"))
+        manifest = comm.bcast(manifest, root=0)
+        return cls(comm, fs, manifest, cache_pages=cache_pages)
+
+    def close(self) -> None:
+        for store in self.stores.values():
+            store.close()
+
+    def __enter__(self) -> "DistributedStoreServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # error containment
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _shard_guard(self, shard: ShardInfo, action: str) -> Iterator[None]:
+        """Convert low-level decode failures into a ShardError naming the
+        shard, so corruption never surfaces as a raw struct/pickle exception
+        in the middle of a collective."""
+        try:
+            yield
+        except ShardError:  # already attributed by a nested guard
+            raise
+        except _SHARD_DECODE_ERRORS as exc:
+            raise ShardError(
+                f"shard {shard.shard_id} ({shard.store!r}) of store "
+                f"{self.manifest.name!r} failed during {action}: {exc}",
+                shard_id=shard.shard_id,
+                store=shard.store,
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # phase bookkeeping
+    # ------------------------------------------------------------------ #
+    def _charge_phase(self, name: str, since: float) -> float:
+        now = self.comm.clock.now
+        self.phases[name] += now - since
+        return now
+
+    def _store_io_seconds(self) -> float:
+        return sum(store.stats.io_seconds for store in self.stores.values())
+
+    def phase_breakdown(self, reduce: str = "max") -> Dict[str, float]:
+        """Per-phase simulated seconds, reduced over all ranks (collective).
+
+        ``reduce="max"`` reports the per-phase maximum over ranks — the same
+        convention as the paper's stacked phase plots; ``"sum"`` totals them.
+        """
+        if reduce not in ("max", "sum"):
+            raise ValueError(f"unknown reduce {reduce!r} (use 'max' or 'sum')")
+        gathered = self.comm.allgather(dict(self.phases))
+        agg: Dict[str, float] = {}
+        for name in SERVING_PHASES:
+            values = [g.get(name, 0.0) for g in gathered]
+            agg[name] = max(values) if reduce == "max" else sum(values)
+        return agg
+
+    def aggregate_stats(self) -> Dict[str, Any]:
+        """Serving statistics aggregated across all ranks (collective).
+
+        Each rank contributes one snapshot per shard store it owns — a
+        rank's page cache is counted exactly once no matter how many times
+        this is called, because snapshots are absolute counters, not deltas.
+        The cache hit rate is recomputed from the summed counters (a mean of
+        per-rank rates would weight idle ranks equally with busy ones).
+        """
+        local: Dict[str, float] = {}
+        for store in self.stores.values():
+            for key, value in store.stats.as_dict().items():
+                local[key] = local.get(key, 0.0) + value
+        local.pop("cache_hit_rate", None)
+        per_rank = self.comm.allgather(local)
+        total: Dict[str, float] = {}
+        for snapshot in per_rank:
+            for key, value in snapshot.items():
+                total[key] = total.get(key, 0.0) + value
+        accesses = total.get("cache_hits", 0.0) + total.get("cache_misses", 0.0)
+        total["cache_hit_rate"] = total.get("cache_hits", 0.0) / accesses if accesses else 0.0
+        return {"aggregate": total, "per_rank": per_rank}
+
+    # ------------------------------------------------------------------ #
+    # local serving
+    # ------------------------------------------------------------------ #
+    def _local_query(
+        self, plan: List[Tuple[int, Any, Envelope]], exact: bool
+    ) -> List[Tuple[int, Any, int, int, int, int, Geometry]]:
+        out: List[Tuple[int, Any, int, int, int, int, Geometry]] = []
+        for sid in self.my_shards:
+            shard = self.manifest.shards[sid]
+            store = self.stores[sid]
+            for idx, qid, window in plan:
+                if shard.extent.is_empty or not shard.extent.intersects(window):
+                    continue
+                # only the store access is guarded (same contract as join():
+                # predicate evaluation is never misreported as corruption)
+                with self._shard_guard(shard, "query"):
+                    candidates = store.range_query(window, exact=False)
+                refine = Polygon.from_envelope(window) if exact else None
+                for hit in candidates:
+                    if refine is not None and not predicates.intersects(refine, hit.geometry):
+                        continue
+                    out.append(
+                        (idx, qid, hit.record_id, sid, hit.partition_id,
+                         hit.page_id, hit.geometry)
+                    )
+        return out
+
+    @staticmethod
+    def _dedup(
+        rows: Iterable[Tuple[int, Any, int, int, int, int, Geometry]]
+    ) -> List[DistributedHit]:
+        # keep the deterministic first replica: lowest (shard, partition, page)
+        best: Dict[Tuple[int, int], Tuple[int, int, int, Any, Geometry]] = {}
+        for idx, qid, record_id, sid, partition_id, page_id, geom in rows:
+            key = (idx, record_id)
+            cand = (sid, partition_id, page_id, qid, geom)
+            if key not in best or cand[:3] < best[key][:3]:
+                best[key] = cand
+        hits = [
+            DistributedHit(
+                query_id=qid,
+                record_id=record_id,
+                geometry=geom,
+                shard_id=sid,
+                partition_id=partition_id,
+                page_id=page_id,
+            )
+            for (idx, record_id), (sid, partition_id, page_id, qid, geom) in sorted(
+                best.items()
+            )
+        ]
+        return hits
+
+    # ------------------------------------------------------------------ #
+    # collective serving calls
+    # ------------------------------------------------------------------ #
+    def _collective_serve(
+        self,
+        build_plan: Callable[[], List[List[Any]]],
+        serve_local: Callable[[List[Any]], List[Any]],
+        assemble: Callable[[List[Any]], Any],
+        broadcast: bool,
+    ) -> Any:
+        """The shared route → scatter → local_query → gather skeleton.
+
+        *build_plan* runs on rank 0 and returns the per-rank scatter lists;
+        *serve_local* answers one rank's list; *assemble* runs on rank 0
+        over the flattened gathered rows.  Every phase is charged to the
+        virtual clock and accumulated in :attr:`phases`.
+        """
+        clock = self.comm.clock
+        t = clock.now
+        plan: Optional[List[List[Any]]] = None
+        if self.comm.rank == 0:
+            with clock.compute(category="route"):
+                plan = build_plan()
+        t = self._charge_phase("route", t)
+
+        mine = self.comm.scatter(plan, root=0)
+        t = self._charge_phase("scatter", t)
+
+        io_before = self._store_io_seconds()
+        with clock.compute(category="local_query"):
+            local = serve_local(mine)
+        clock.advance(self._store_io_seconds() - io_before, category="io")
+        t = self._charge_phase("local_query", t)
+
+        gathered = self.comm.gather(local, root=0)
+        result: Any = None
+        if self.comm.rank == 0:
+            with clock.compute(category="gather"):
+                rows = [row for chunk in gathered or [] for row in chunk]
+                result = assemble(rows)
+        if broadcast:
+            result = self.comm.bcast(result, root=0)
+        self._charge_phase("gather", t)
+        return result
+
+    def range_query_batch(
+        self,
+        queries: Optional[Sequence[Tuple[Any, Envelope]]],
+        exact: bool = True,
+        broadcast: bool = False,
+    ) -> Optional[List[DistributedHit]]:
+        """Serve a batch of ``(query_id, window)`` range queries (collective).
+
+        Rank 0 supplies *queries* and receives the de-duplicated hits sorted
+        by ``(batch position, record_id)``; other ranks pass ``None`` and get
+        ``None`` back unless ``broadcast`` is set.
+        """
+
+        def build_plan() -> List[List[Tuple[int, Any, Envelope]]]:
+            if queries is None:
+                raise ValueError("rank 0 must supply the query batch")
+            self.queries_served += len(queries)
+            return self.router.plan(list(queries), self.assignment, self.comm.size)
+
+        return self._collective_serve(
+            build_plan,
+            lambda mine: self._local_query(mine, exact),
+            self._dedup,
+            broadcast,
+        )
+
+    def join(
+        self,
+        probes: Optional[Sequence[Geometry]],
+        predicate: Predicate = predicates.intersects,
+        broadcast: bool = False,
+    ) -> Optional[List[Tuple[Geometry, DistributedHit]]]:
+        """Filter-and-refine join of in-memory *probes* against the shards
+        (collective).  Rank 0 supplies *probes* and receives ``(probe, hit)``
+        pairs de-duplicated on ``(probe, record_id)``.
+        """
+        probe_list: List[Geometry] = []
+
+        def build_plan() -> List[List[Tuple[int, Geometry, Envelope]]]:
+            if probes is None:
+                raise ValueError("rank 0 must supply the probe collection")
+            probe_list.extend(probes)
+            plan = self.router.plan(
+                [(i, p.envelope) for i, p in enumerate(probe_list)],
+                self.assignment,
+                self.comm.size,
+            )
+            # ship the probe geometry with the plan so ranks can refine
+            return [
+                [(idx, probe_list[idx], env) for idx, _, env in entries]
+                for entries in plan
+            ]
+
+        def serve_local(
+            mine: List[Tuple[int, Geometry, Envelope]]
+        ) -> List[Tuple[int, Any, int, int, int, int, Geometry]]:
+            local: List[Tuple[int, Any, int, int, int, int, Geometry]] = []
+            for sid in self.my_shards:
+                shard = self.manifest.shards[sid]
+                store = self.stores[sid]
+                for idx, probe, env in mine:
+                    if shard.extent.is_empty or not shard.extent.intersects(env):
+                        continue
+                    # only store access is guarded: a buggy user predicate
+                    # must not be misreported as shard corruption
+                    with self._shard_guard(shard, "join"):
+                        candidates = store.range_query(env, exact=False)
+                    for hit in candidates:
+                        if predicate(probe, hit.geometry):
+                            local.append(
+                                (idx, idx, hit.record_id, sid, hit.partition_id,
+                                 hit.page_id, hit.geometry)
+                            )
+            return local
+
+        def assemble(
+            rows: List[Tuple[int, Any, int, int, int, int, Geometry]]
+        ) -> List[Tuple[Geometry, DistributedHit]]:
+            return [(probe_list[hit.query_id], hit) for hit in self._dedup(rows)]
+
+        return self._collective_serve(build_plan, serve_local, assemble, broadcast)
+
+    # ------------------------------------------------------------------ #
+    # store-backed pipeline input
+    # ------------------------------------------------------------------ #
+    def local_records(self) -> List[Tuple[int, Geometry]]:
+        """This rank's *owned* records, each exactly once across all ranks.
+
+        A record replicated into several shards is yielded only by the shard
+        holding its home partition (lowest overlapping global grid cell) —
+        the ownership rule every rank derives from ``shards.json`` alone, so
+        no communication is needed and the union over ranks is exactly the
+        logical dataset.
+        """
+        io_before = self._store_io_seconds()
+        out: List[Tuple[int, Geometry]] = []
+        for sid in self.my_shards:
+            shard = self.manifest.shards[sid]
+            owned = set(shard.partition_ids)
+            store = self.stores[sid]
+            with self._shard_guard(shard, "scan"):
+                for record_id, geom in store.scan():
+                    if self.router.home_partition(geom.envelope) in owned:
+                        out.append((record_id, geom))
+        self.comm.clock.advance(self._store_io_seconds() - io_before, category="io")
+        return out
+
+    def local_geometries(self) -> List[Geometry]:
+        """The geometries of :meth:`local_records` (pipeline input form)."""
+        return [geom for _, geom in self.local_records()]

@@ -8,12 +8,17 @@ pipeline does), each partition's records are ordered along a space-filling
 curve for intra-page locality, packed into fixed-target-size pages, and the
 record MBRs are bulk-loaded into one STR-packed R-tree that is persisted
 alongside the data so no future open ever rebuilds it.
+
+The packing and writing halves are factored out (:func:`pack_partitions`,
+:func:`write_store_files`) so the sharded writer in
+:mod:`repro.store.sharded` can persist each shard as a normal store without
+re-partitioning per shard.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..geometry import Envelope, Geometry
 from ..index import STRtree, UniformGrid, sort_by_hilbert, sort_by_zorder
@@ -30,7 +35,7 @@ from .format import (
 from .index_io import dump_index
 from .manifest import PartitionInfo, StoreManifest, store_paths
 
-__all__ = ["BulkLoadResult", "bulk_load"]
+__all__ = ["BulkLoadResult", "PackedPartitions", "bulk_load", "pack_partitions", "write_store_files"]
 
 
 @dataclass
@@ -73,52 +78,37 @@ def _order_indices(recs: Sequence["_Rec"], extent: Envelope, order: str) -> List
     raise ValueError(f"unknown record order {order!r} (use hilbert, zorder or none)")
 
 
-def bulk_load(
-    fs: SimulatedFilesystem,
-    name: str,
-    geometries: Iterable[Geometry],
-    num_partitions: int = 16,
-    page_size: int = 4096,
-    node_capacity: int = 16,
+@dataclass
+class PackedPartitions:
+    """In-memory image of a store's data file (pages + metadata + index input)."""
+
+    page_metas: List[PageMeta] = field(default_factory=list)
+    partitions: List[PartitionInfo] = field(default_factory=list)
+    payloads: List[bytes] = field(default_factory=list)
+    index_entries: List[Tuple[Envelope, RecordRef]] = field(default_factory=list)
+    num_replicas: int = 0
+    #: distinct logical record ids packed (replicas share one id)
+    record_ids: Set[int] = field(default_factory=set)
+
+    @property
+    def data_extent(self) -> Envelope:
+        out = Envelope.empty()
+        for part in self.partitions:
+            out = out.union(part.data_mbr)
+        return out
+
+
+def pack_partitions(
+    cells: Mapping[int, Sequence["_Rec"]],
+    grid: UniformGrid,
+    page_size: int,
     order: str = "hilbert",
-) -> BulkLoadResult:
-    """Persist *geometries* as the named store on *fs*.
-
-    ``page_size`` is the target payload size in bytes: records are appended
-    to a page until it would overflow (a single oversized record still gets
-    a page of its own).  Pages never span partitions.
-    """
-    if page_size < 64:
-        raise ValueError("page_size must be >= 64 bytes")
-    from ..core.grid_partition import assign_to_cells, build_grid, cell_rtree
-
-    geoms = list(geometries)
-    usable = [_Rec(rid, g) for rid, g in enumerate(geoms) if not g.envelope.is_empty]
-    skipped = len(geoms) - len(usable)
-
-    extent = Envelope.empty()
-    for rec in usable:
-        extent = extent.union(rec.envelope)
-
-    # ------------------------------------------------------------------ #
-    # partition (the existing grid machinery, replication included)
-    # ------------------------------------------------------------------ #
-    if usable:
-        grid = build_grid(extent, num_partitions)
-        cells = assign_to_cells(grid, usable, cell_rtree(grid))
-    else:
-        grid = UniformGrid(Envelope(0.0, 0.0, 1.0, 1.0), 1, 1)
-        cells = {}
-
-    # ------------------------------------------------------------------ #
-    # pack each partition's records into pages
-    # ------------------------------------------------------------------ #
-    page_metas: List[PageMeta] = []
-    partitions: List[PartitionInfo] = []
-    index_entries: List[Tuple[Envelope, RecordRef]] = []
-    payloads: List[bytes] = []
+) -> PackedPartitions:
+    """Pack pre-partitioned records into pages (the partition→page half of a
+    bulk load).  *cells* maps global grid cell ids to their record replicas;
+    pages never span partitions and page ids are local to this pack."""
+    packed = PackedPartitions()
     data_offset = HEADER_SIZE
-    num_replicas = 0
 
     for cell_id in sorted(cells):
         part_recs = cells[cell_id]
@@ -138,13 +128,13 @@ def bulk_load(
             if not current:
                 return
             payload = encode_page(current)
-            page_id = len(page_metas)
+            page_id = len(packed.page_metas)
             mbr = Envelope.empty()
             for env in current_envs:
                 mbr = mbr.union(env)
             for slot, env in enumerate(current_envs):
-                index_entries.append((env, RecordRef(page_id, slot)))
-            page_metas.append(
+                packed.index_entries.append((env, RecordRef(page_id, slot)))
+            packed.page_metas.append(
                 PageMeta(
                     page_id=page_id,
                     offset=data_offset,
@@ -153,7 +143,7 @@ def bulk_load(
                     mbr=mbr,
                 )
             )
-            payloads.append(payload)
+            packed.payloads.append(payload)
             part.page_ids.append(page_id)
             data_offset += len(payload)
             current, current_envs, current_bytes = [], [], 0
@@ -168,29 +158,46 @@ def bulk_load(
             current_bytes += len(encoded)
             part.record_count += 1
             part.data_mbr = part.data_mbr.union(rec.envelope)
-            num_replicas += 1
+            packed.num_replicas += 1
+            packed.record_ids.add(rec.rid)
         flush_page()
-        partitions.append(part)
+        packed.partitions.append(part)
 
-    # ------------------------------------------------------------------ #
-    # write the container, the packed index and the manifest
-    # ------------------------------------------------------------------ #
+    return packed
+
+
+def write_store_files(
+    fs: SimulatedFilesystem,
+    name: str,
+    packed: PackedPartitions,
+    page_size: int,
+    extent: Envelope,
+    grid_rows: int,
+    grid_cols: int,
+    num_records: int,
+    node_capacity: int = 16,
+) -> Tuple[StoreManifest, Dict[str, str], int, int, float]:
+    """Persist a packed store as the canonical three-file layout.
+
+    Returns ``(manifest, paths, data_bytes, index_bytes, write_seconds)``.
+    """
     paths = store_paths(name)
-    header = pack_header(page_size, len(page_metas), len(usable), data_offset)
-    data = header + b"".join(payloads) + pack_page_directory(page_metas)
+    header = pack_header(page_size, len(packed.page_metas), num_records,
+                         HEADER_SIZE + sum(len(p) for p in packed.payloads))
+    data = header + b"".join(packed.payloads) + pack_page_directory(packed.page_metas)
 
-    tree: STRtree = STRtree(index_entries, node_capacity=node_capacity)
+    tree: STRtree = STRtree(packed.index_entries, node_capacity=node_capacity)
     index_bytes = dump_index(tree)
 
     manifest = StoreManifest(
         name=name,
         page_size=page_size,
-        num_records=len(usable),
-        num_pages=len(page_metas),
+        num_records=num_records,
+        num_pages=len(packed.page_metas),
         extent=extent,
-        grid_rows=grid.rows,
-        grid_cols=grid.cols,
-        partitions=partitions,
+        grid_rows=grid_rows,
+        grid_cols=grid_cols,
+        partitions=packed.partitions,
     )
     manifest_bytes = manifest.to_json().encode("utf-8")
 
@@ -205,15 +212,79 @@ def bulk_load(
         if blob:
             write_seconds += fs.write_time(path, [ReadRequest(0, ((0, len(blob)),))])
 
+    return manifest, paths, len(data), len(index_bytes), write_seconds
+
+
+def partition_records(
+    geometries: Iterable[Geometry],
+    num_partitions: int,
+) -> Tuple[List["_Rec"], UniformGrid, Dict[int, List["_Rec"]], int, Envelope]:
+    """Front half of a bulk load: wrap, measure and grid-partition records.
+
+    Returns ``(usable, grid, cells, skipped, extent)`` where *cells* maps
+    global grid cell ids to record replicas (the existing grid machinery,
+    replication included).
+    """
+    from ..core.grid_partition import assign_to_cells, build_grid, cell_rtree
+
+    geoms = list(geometries)
+    usable = [_Rec(rid, g) for rid, g in enumerate(geoms) if not g.envelope.is_empty]
+    skipped = len(geoms) - len(usable)
+
+    extent = Envelope.empty()
+    for rec in usable:
+        extent = extent.union(rec.envelope)
+
+    if usable:
+        grid = build_grid(extent, num_partitions)
+        cells = assign_to_cells(grid, usable, cell_rtree(grid))
+    else:
+        grid = UniformGrid(Envelope(0.0, 0.0, 1.0, 1.0), 1, 1)
+        cells = {}
+    return usable, grid, cells, skipped, extent
+
+
+def bulk_load(
+    fs: SimulatedFilesystem,
+    name: str,
+    geometries: Iterable[Geometry],
+    num_partitions: int = 16,
+    page_size: int = 4096,
+    node_capacity: int = 16,
+    order: str = "hilbert",
+) -> BulkLoadResult:
+    """Persist *geometries* as the named store on *fs*.
+
+    ``page_size`` is the target payload size in bytes: records are appended
+    to a page until it would overflow (a single oversized record still gets
+    a page of its own).  Pages never span partitions.
+    """
+    if page_size < 64:
+        raise ValueError("page_size must be >= 64 bytes")
+
+    usable, grid, cells, skipped, extent = partition_records(geometries, num_partitions)
+    packed = pack_partitions(cells, grid, page_size, order)
+    manifest, paths, data_bytes, index_bytes, write_seconds = write_store_files(
+        fs,
+        name,
+        packed,
+        page_size=page_size,
+        extent=extent,
+        grid_rows=grid.rows,
+        grid_cols=grid.cols,
+        num_records=len(usable),
+        node_capacity=node_capacity,
+    )
+
     return BulkLoadResult(
         manifest=manifest,
         paths=paths,
         num_records=len(usable),
-        num_replicas=num_replicas,
-        num_pages=len(page_metas),
-        num_partitions=len(partitions),
-        data_bytes=len(data),
-        index_bytes=len(index_bytes),
+        num_replicas=packed.num_replicas,
+        num_pages=len(packed.page_metas),
+        num_partitions=len(packed.partitions),
+        data_bytes=data_bytes,
+        index_bytes=index_bytes,
         skipped_empty=skipped,
         write_seconds=write_seconds,
     )

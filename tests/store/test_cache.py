@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.store import LRUPageCache
+from repro import mpisim
+from repro.datasets import random_envelopes
+from repro.geometry import Envelope, Polygon
+from repro.pfs import LustreFilesystem
+from repro.store import DistributedStoreServer, LRUPageCache, sharded_bulk_load
 
 
 class TestLRUPageCache:
@@ -84,3 +88,101 @@ class TestLRUPageCache:
         d = cache.stats.as_dict()
         assert d["misses"] == 1
         assert d["hit_rate"] == 0.0
+
+
+class TestShardedServingCacheStats:
+    """Regression tests for `StoreStats` accounting under the sharded path:
+    every rank's cache must enter the aggregate exactly once (snapshots, not
+    deltas) and the hit rate must be recomputed from summed counters."""
+
+    def _build(self, tmp_path, num_shards=4):
+        fs = LustreFilesystem(tmp_path / "pfs")
+        geoms = [
+            Polygon.from_envelope(env, userdata=i)
+            for i, env in enumerate(
+                random_envelopes(80, extent=Envelope(0.0, 0.0, 100.0, 100.0),
+                                 max_size_fraction=0.1, seed=23)
+            )
+        ]
+        sharded_bulk_load(fs, "stats", geoms, num_shards=num_shards,
+                          num_partitions=16, page_size=512)
+        queries = [
+            (qid, env)
+            for qid, env in enumerate(
+                random_envelopes(10, extent=Envelope(0.0, 0.0, 100.0, 100.0),
+                                 max_size_fraction=0.3, seed=24)
+            )
+        ]
+        return fs, queries
+
+    def test_each_rank_counted_once_and_aggregate_idempotent(self, tmp_path):
+        fs, queries = self._build(tmp_path)
+
+        def prog(comm):
+            with DistributedStoreServer.open(comm, fs, "stats", cache_pages=64) as server:
+                batch = queries if comm.rank == 0 else None
+                server.range_query_batch(batch)   # cold
+                server.range_query_batch(batch)   # warm (cache hits)
+                first = server.aggregate_stats()
+                second = server.aggregate_stats()
+                return first, second
+
+        res = mpisim.run_spmd(prog, 2)
+        first, second = res.values[0]
+        agg = first["aggregate"]
+
+        # calling aggregate twice must not double-count anything
+        assert second["aggregate"] == agg
+
+        # the aggregate is exactly the sum of the per-rank snapshots
+        for key in ("pages_read", "cache_hits", "cache_misses", "records_decoded"):
+            assert agg[key] == sum(snap.get(key, 0.0) for snap in first["per_rank"])
+        assert len(first["per_rank"]) == 2
+
+        # warm second batch produced hits; cold first batch produced misses
+        assert agg["cache_hits"] > 0
+        assert agg["cache_misses"] > 0
+        # every miss faulted exactly one page in
+        assert agg["pages_read"] == agg["cache_misses"]
+        # hit rate is recomputed from summed counters, not averaged
+        accesses = agg["cache_hits"] + agg["cache_misses"]
+        assert agg["cache_hit_rate"] == pytest.approx(agg["cache_hits"] / accesses)
+
+    def test_multiple_shards_per_rank_sum_without_overlap(self, tmp_path):
+        # 4 shards on 2 ranks: each rank folds two distinct caches into its
+        # snapshot; ranks' query counters must reflect only their own stores
+        fs, queries = self._build(tmp_path, num_shards=4)
+
+        def prog(comm):
+            with DistributedStoreServer.open(comm, fs, "stats", cache_pages=64) as server:
+                server.range_query_batch(queries if comm.rank == 0 else None)
+                local = {}
+                for store in server.stores.values():
+                    for key, value in store.stats.as_dict().items():
+                        local[key] = local.get(key, 0.0) + value
+                return len(server.my_shards), local, server.aggregate_stats()
+
+        res = mpisim.run_spmd(prog, 2)
+        shard_counts = [v[0] for v in res.values]
+        assert shard_counts == [2, 2]
+        agg = res.values[0][2]["aggregate"]
+        for key in ("pages_read", "cache_hits", "cache_misses"):
+            assert agg[key] == sum(v[1].get(key, 0.0) for v in res.values)
+
+    def test_warm_serving_reads_no_new_pages(self, tmp_path):
+        fs, queries = self._build(tmp_path)
+
+        def prog(comm):
+            with DistributedStoreServer.open(comm, fs, "stats", cache_pages=256) as server:
+                batch = queries if comm.rank == 0 else None
+                server.range_query_batch(batch)
+                cold = server.aggregate_stats()["aggregate"]
+                server.range_query_batch(batch)
+                warm = server.aggregate_stats()["aggregate"]
+                return cold, warm
+
+        cold, warm = mpisim.run_spmd(prog, 4).values[0]
+        # an identical warm batch is served entirely from the page caches
+        assert warm["pages_read"] == cold["pages_read"]
+        assert warm["cache_hits"] > cold["cache_hits"]
+        assert warm["cache_misses"] == cold["cache_misses"]

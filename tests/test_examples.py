@@ -4,6 +4,7 @@ The examples are part of the public deliverable; each must run without error
 in a few seconds and print its summary output.
 """
 
+import functools
 import os
 import pathlib
 import subprocess
@@ -20,6 +21,18 @@ _SRC = str(EXAMPLES_DIR.parent / "src")
 ENV = {**os.environ, "PYTHONPATH": _SRC + os.pathsep + os.environ.get("PYTHONPATH", "")}
 
 
+@functools.lru_cache(maxsize=None)
+def run_example(script: str) -> "subprocess.CompletedProcess[str]":
+    """Run one example once per session; output-content tests reuse the run."""
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        env=ENV,
+    )
+
+
 def test_examples_directory_is_complete():
     assert "quickstart.py" in EXAMPLES
     assert len(EXAMPLES) >= 4
@@ -27,24 +40,19 @@ def test_examples_directory_is_complete():
 
 @pytest.mark.parametrize("script", EXAMPLES)
 def test_example_runs(script):
-    proc = subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / script)],
-        capture_output=True,
-        text=True,
-        timeout=240,
-        env=ENV,
-    )
+    proc = run_example(script)
     assert proc.returncode == 0, f"{script} failed:\n{proc.stdout}\n{proc.stderr}"
     assert proc.stdout.strip(), f"{script} produced no output"
 
 
+def test_distributed_serving_reports_identical_results():
+    proc = run_example("distributed_serving.py")
+    assert proc.returncode == 0, f"distributed_serving.py failed:\n{proc.stderr}"
+    assert "identical to the single store" in proc.stdout
+    assert "phase breakdown" in proc.stdout
+
+
 def test_quickstart_output_mentions_polygons():
-    proc = subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-        capture_output=True,
-        text=True,
-        timeout=240,
-        env=ENV,
-    )
+    proc = run_example("quickstart.py")
     assert "polygons" in proc.stdout
     assert "simulated end-to-end time" in proc.stdout
