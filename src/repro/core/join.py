@@ -100,9 +100,12 @@ def join_with_store(
 
     The serving-path alternative to re-running the distributed pipeline for
     the stored layer: the store's packed index plays the filter phase and
-    *predicate* the refine phase.  Replicated stored geometries are already
-    de-duplicated by the store, so each qualifying pair appears exactly once;
-    ``cell_id`` is the store partition that served the stored geometry.
+    *predicate* the refine phase.  The probe collection is served through the
+    store's batched front-end (``range_query_batch``), so probe windows are
+    Hilbert-ordered, page touches are deduped across probes and page reads
+    are coalesced.  Replicated stored geometries are already de-duplicated by
+    the store, so each qualifying pair appears exactly once; ``cell_id`` is
+    the store partition that served the stored geometry.
     """
     return [
         JoinPair(left=probe, right=hit.geometry, cell_id=hit.partition_id)

@@ -89,15 +89,17 @@ class RangeQuery(SpatialComputation):
         """Serve the query batch from a persistent :class:`SpatialDataStore`.
 
         The alternative data source to :meth:`execute`: instead of re-reading,
-        re-partitioning and re-indexing the raw dataset, every window is
-        answered by the store's packed index and page cache.  Replica
-        de-duplication happens inside the store (by logical record id), so no
-        reference-point test is needed; ``cell_id`` reports the partition of
-        the page that served the match.
+        re-partitioning and re-indexing the raw dataset, the whole batch is
+        answered in one ``range_query_batch`` pass — windows Hilbert-ordered
+        for page-cache locality, page touches deduped across queries, reads
+        coalesced into runs.  Replica de-duplication happens inside the store
+        (by logical record id), so no reference-point test is needed;
+        ``cell_id`` reports the partition of the page that served the match.
         """
+        per_query = store.range_query_batch(self.queries, exact=True)
         matches: List[QueryMatch] = []
-        for qid, env in self.queries:
-            for hit in store.range_query(env, exact=True):
+        for (qid, _), hits in zip(self.queries, per_query):
+            for hit in hits:
                 matches.append(
                     QueryMatch(query_id=qid, geometry=hit.geometry, cell_id=hit.partition_id)
                 )

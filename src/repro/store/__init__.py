@@ -33,8 +33,9 @@ for it again:
 """
 
 from .cache import CacheStats, LRUPageCache
-from .datastore import QueryHit, SpatialDataStore, StoreStats
+from .datastore import ADMISSION_POLICIES, QueryHit, SpatialDataStore, StoreStats
 from .format import PageMeta, RecordRef, StoreError, StoreFormatError, StoreHeader
+from .page import CachedPage
 from .index_io import dump_index, load_index
 from .manifest import (
     PartitionInfo,
@@ -57,10 +58,12 @@ from .sharded import (
 from .writer import BulkLoadResult, bulk_load
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "SpatialDataStore",
     "QueryHit",
     "StoreStats",
     "CacheStats",
+    "CachedPage",
     "LRUPageCache",
     "StoreError",
     "StoreFormatError",

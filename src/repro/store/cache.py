@@ -26,6 +26,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: loads the admission policy kept out of the cache (e.g. full scans)
+    admission_rejects: int = 0
 
     @property
     def accesses(self) -> int:
@@ -42,11 +44,12 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "admission_rejects": self.admission_rejects,
             "hit_rate": self.hit_rate,
         }
 
     def reset(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        self.hits = self.misses = self.evictions = self.admission_rejects = 0
 
 
 class LRUPageCache(Generic[K, V]):
@@ -85,8 +88,16 @@ class LRUPageCache(Generic[K, V]):
         self.stats.misses += 1
         return None
 
-    def put(self, key: K, value: V) -> None:
-        """Insert (or refresh) an entry, evicting the LRU entry when full."""
+    def put(self, key: K, value: V, admit: bool = True) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry when full.
+
+        ``admit=False`` is the admission policy's veto: the load is counted
+        but the entry is not cached (e.g. pages touched only by a full scan,
+        which would evict the query working set for no future benefit).
+        """
+        if not admit:
+            self.stats.admission_rejects += 1
+            return
         if self.capacity == 0:
             return
         if key in self._entries:
@@ -98,12 +109,12 @@ class LRUPageCache(Generic[K, V]):
             self.stats.evictions += 1
         self._entries[key] = value
 
-    def get_or_load(self, key: K, loader: Callable[[K], V]) -> V:
+    def get_or_load(self, key: K, loader: Callable[[K], V], admit: bool = True) -> V:
         """Return the cached value, calling *loader* (and caching) on a miss."""
         value = self.get(key)
         if value is None:
             value = loader(key)
-            self.put(key, value)
+            self.put(key, value, admit=admit)
         return value
 
     def clear(self) -> None:

@@ -17,28 +17,34 @@ reproduction; the accumulated simulated seconds are exposed via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..geometry import Envelope, Geometry, Polygon, predicates
-from ..index import STRtree
+from ..index import STRtree, sort_by_hilbert
 from ..pfs import FileHandle, ReadRequest, SimulatedFilesystem
 from .cache import CacheStats, LRUPageCache
 from .format import (
     HEADER_SIZE,
+    VERSION,
     PageMeta,
     RecordRef,
     StoreFormatError,
-    decode_page,
     unpack_header,
     unpack_page_directory,
 )
 from .index_io import load_index
 from .manifest import StoreManifest, store_paths
+from .page import CachedPage
 from .writer import BulkLoadResult, bulk_load
 
-__all__ = ["QueryHit", "StoreStats", "SpatialDataStore"]
+__all__ = ["ADMISSION_POLICIES", "QueryHit", "StoreStats", "SpatialDataStore"]
 
 Predicate = Callable[[Geometry, Geometry], bool]
+
+#: page-cache admission policies: ``"all"`` admits every fetched page,
+#: ``"no_scan"`` keeps pages touched only by full scans out of the cache so
+#: a table scan cannot evict the query working set
+ADMISSION_POLICIES = ("all", "no_scan")
 
 
 @dataclass(frozen=True)
@@ -53,12 +59,26 @@ class QueryHit:
 
 @dataclass
 class StoreStats:
-    """Cumulative serving statistics of one open store."""
+    """Cumulative serving statistics of one open store.
+
+    ``pages_read`` counts demand-fetched pages (it equals the cache miss
+    count); ``pages_prefetched`` counts pages read ahead of demand — a later
+    demand for one of them is a cache hit, never a miss.  ``records_decoded``
+    counts refine-phase work only: with the lazy page decode a query pays
+    WKB/pickle for the slots it actually inspects, not for every record on
+    every touched page.  ``read_requests`` counts coalesced read ranges
+    issued to the filesystem, which is why it can be far below
+    ``pages_read``.
+    """
 
     pages_read: int = 0
     bytes_read: int = 0
     records_decoded: int = 0
     queries: int = 0
+    #: coalesced read ranges issued (each covers one run of adjacent pages)
+    read_requests: int = 0
+    #: pages read ahead of demand by the sequential readahead
+    pages_prefetched: int = 0
     #: simulated seconds charged by the filesystem cost model (open + reads)
     io_seconds: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)
@@ -69,6 +89,8 @@ class StoreStats:
             "bytes_read": self.bytes_read,
             "records_decoded": self.records_decoded,
             "queries": self.queries,
+            "read_requests": self.read_requests,
+            "pages_prefetched": self.pages_prefetched,
             "io_seconds": self.io_seconds,
         }
         out.update({f"cache_{k}": v for k, v in self.cache.as_dict().items()})
@@ -93,15 +115,30 @@ class SpatialDataStore:
         pages: List[PageMeta],
         index: STRtree,
         cache_pages: int = 64,
+        version: int = VERSION,
+        admission: str = "all",
+        coalesce_gap: Optional[int] = None,
+        prefetch_pages: int = 0,
     ) -> None:
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r} (use one of {ADMISSION_POLICIES})"
+            )
+        if prefetch_pages < 0:
+            raise ValueError("prefetch_pages must be >= 0")
         self.fs = fs
         self.name = name
         self.manifest = manifest
         self.pages = pages
         self.index = index
+        self.version = version
+        self.admission = admission
+        #: byte gap between page runs still merged into one read range
+        self.coalesce_gap = manifest.page_size if coalesce_gap is None else coalesce_gap
+        self.prefetch_pages = prefetch_pages
         self.paths = store_paths(name)
         self.stats = StoreStats()
-        self._cache: LRUPageCache[int, List[Tuple[int, Geometry]]] = LRUPageCache(cache_pages)
+        self._cache: LRUPageCache[int, CachedPage] = LRUPageCache(cache_pages)
         self.stats.cache = self._cache.stats
         self._partition_of_page = manifest.partition_of_page()
         self._handle: Optional[FileHandle] = None
@@ -111,12 +148,22 @@ class SpatialDataStore:
     # ------------------------------------------------------------------ #
     @classmethod
     def open(
-        cls, fs: SimulatedFilesystem, name: str, cache_pages: int = 64
+        cls,
+        fs: SimulatedFilesystem,
+        name: str,
+        cache_pages: int = 64,
+        admission: str = "all",
+        coalesce_gap: Optional[int] = None,
+        prefetch_pages: int = 0,
     ) -> "SpatialDataStore":
         """Open a persisted store: manifest + page directory + packed index.
 
         This is the whole cold-start cost — no record is parsed and the
-        R-tree is reconstituted, not rebuilt.
+        R-tree is reconstituted, not rebuilt.  Serving knobs: *admission*
+        (page-cache admission policy, see :data:`ADMISSION_POLICIES`),
+        *coalesce_gap* (max byte gap between candidate pages still merged
+        into one read range; default one page size) and *prefetch_pages*
+        (sequential readahead past the demand frontier, off by default).
         """
         paths = store_paths(name)
         for key in ("data", "index", "manifest"):
@@ -136,7 +183,7 @@ class SpatialDataStore:
         manifest = StoreManifest.from_json(manifest_raw.decode("utf-8"))
 
         with fs.open(paths["data"]) as fh:
-            header = unpack_header(fh.pread(0, HEADER_SIZE))
+            header = unpack_header(fh.pread(0, HEADER_SIZE), file_size=fh.size)
             directory = fh.pread(header.dir_offset, header.dir_nbytes)
             io_seconds += fs.open_time()
             io_seconds += fs.read_time(
@@ -157,7 +204,18 @@ class SpatialDataStore:
             io_seconds += fs.read_time(paths["index"], [ReadRequest(0, ((0, len(index_raw)),))])
         index = load_index(index_raw)
 
-        store = cls(fs, name, manifest, pages, index, cache_pages=cache_pages)
+        store = cls(
+            fs,
+            name,
+            manifest,
+            pages,
+            index,
+            cache_pages=cache_pages,
+            version=header.version,
+            admission=admission,
+            coalesce_gap=coalesce_gap,
+            prefetch_pages=prefetch_pages,
+        )
         store.stats.io_seconds = io_seconds
         return store
 
@@ -207,34 +265,142 @@ class SpatialDataStore:
         )
 
     # ------------------------------------------------------------------ #
-    # page access (through the cache)
+    # page access (through the cache, with coalesced I/O)
     # ------------------------------------------------------------------ #
-    def _read_page(self, page_id: int) -> List[Tuple[int, Geometry]]:
-        meta = self.pages[page_id]
+    def _on_decode(self, n: int) -> None:
+        self.stats.records_decoded += n
+
+    def _fetch_missing(self, missing: List[int], admit: bool) -> Dict[int, CachedPage]:
+        """Read the (sorted) *missing* pages with coalesced, gap-tolerant
+        read ranges — the two-phase-I/O analogue of the serving path.
+
+        Adjacent or near pages (gap ≤ ``coalesce_gap`` bytes) are merged
+        into one range; every range of the call is issued as a single
+        :class:`ReadRequest`, so the cost model charges one run of requests
+        instead of one RPC per page.  When ``prefetch_pages`` is set, the
+        final run is extended past the demand frontier (pages in the file
+        are laid out back to back, so the extension is free of extra
+        latency — it only pays bandwidth).
+        """
         if self._handle is None:
             self._handle = self.fs.open(self.paths["data"])
             self.stats.io_seconds += self.fs.open_time()
-        payload = self._handle.pread(meta.offset, meta.nbytes)
-        if len(payload) != meta.nbytes:
-            raise StoreFormatError(
-                f"page {page_id} of store {self.name!r} is truncated: "
-                f"got {len(payload)} of {meta.nbytes} bytes"
-            )
-        self.stats.io_seconds += self.fs.read_time(
-            self.paths["data"], [ReadRequest(0, ((meta.offset, meta.nbytes),))]
-        )
-        self.stats.pages_read += 1
-        self.stats.bytes_read += meta.nbytes
-        records = decode_page(payload)
-        self.stats.records_decoded += len(records)
-        return records
 
-    def _load_page(self, page_id: int) -> List[Tuple[int, Geometry]]:
-        return self._cache.get_or_load(page_id, self._read_page)
+        runs: List[List[int]] = []
+        for pid in missing:
+            if runs:
+                prev = self.pages[runs[-1][-1]]
+                if self.pages[pid].offset - (prev.offset + prev.nbytes) <= self.coalesce_gap:
+                    runs[-1].append(pid)
+                    continue
+            runs.append([pid])
+
+        prefetched = 0
+        if admit and self.prefetch_pages > 0 and runs:
+            nxt = runs[-1][-1] + 1
+            while (
+                prefetched < self.prefetch_pages
+                and nxt < len(self.pages)
+                and nxt not in self._cache
+            ):
+                runs[-1].append(nxt)
+                prefetched += 1
+                nxt += 1
+
+        out: Dict[int, CachedPage] = {}
+        ranges: List[Tuple[int, int]] = []
+        for run in runs:
+            first, last = self.pages[run[0]], self.pages[run[-1]]
+            start = first.offset
+            length = last.offset + last.nbytes - start
+            buf = self._handle.pread(start, length)
+            if len(buf) != length:
+                raise StoreFormatError(
+                    f"pages {run[0]}..{run[-1]} of store {self.name!r} are "
+                    f"truncated: got {len(buf)} of {length} bytes"
+                )
+            ranges.append((start, length))
+            for pid in run:
+                meta = self.pages[pid]
+                payload = buf[meta.offset - start : meta.offset - start + meta.nbytes]
+                out[pid] = CachedPage(pid, payload, self.version, on_decode=self._on_decode)
+
+        self.stats.io_seconds += self.fs.read_time(
+            self.paths["data"], [ReadRequest(0, tuple(ranges))]
+        )
+        self.stats.read_requests += len(ranges)
+        self.stats.bytes_read += sum(length for _, length in ranges)
+        self.stats.pages_read += len(missing)
+        self.stats.pages_prefetched += prefetched
+        for pid, page in out.items():
+            self._cache.put(pid, page, admit=admit)
+        return out
+
+    def _get_pages(self, page_ids: Iterable[int], admit: bool = True) -> Dict[int, CachedPage]:
+        """Resolve *page_ids* to cached page images, fetching misses in
+        coalesced runs.  The returned dict holds strong references, so the
+        caller can evaluate against every page even when the cache is
+        smaller than the working set."""
+        out: Dict[int, CachedPage] = {}
+        missing: List[int] = []
+        for pid in sorted(set(page_ids)):
+            page = self._cache.get(pid)
+            if page is None:
+                missing.append(pid)
+            else:
+                out[pid] = page
+        if missing:
+            out.update(self._fetch_missing(missing, admit))
+        return out
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
+    def _candidate_slots(self, query_env: Envelope) -> Dict[int, List[int]]:
+        """Filter phase: candidate ``(page → slots)`` from the packed index."""
+        by_page: Dict[int, List[int]] = {}
+        for ref in self.index.query(query_env):
+            by_page.setdefault(ref.page_id, []).append(ref.slot)
+        return by_page
+
+    def _evaluate(
+        self,
+        by_page: Dict[int, List[int]],
+        pages: Dict[int, CachedPage],
+        refine_geom: Optional[Geometry],
+        rect_window: Optional[Envelope] = None,
+    ) -> List[QueryHit]:
+        """Refine phase over candidate slots: replicas are skipped on their
+        record id **before** any decode, and only surviving slots are ever
+        WKB/pickle-decoded (memoised per cached page).
+
+        When the window is a plain rectangle (*rect_window*), the envelope
+        column short-circuits the geometric refine: a slot MBR contained in
+        the window bounds its geometry inside the window too, so the exact
+        predicate is provably true without evaluating it.  (Only valid for
+        rectangles — an arbitrary window geometry does not cover its own
+        envelope.)
+        """
+        hits: List[QueryHit] = []
+        seen: set = set()
+        for page_id in sorted(by_page):
+            page = pages[page_id]
+            partition_id = self._partition_of_page.get(page_id, -1)
+            for slot in by_page[page_id]:
+                record_id = page.record_ids[slot]
+                if record_id in seen:
+                    continue
+                _, geom = page.record(slot)
+                if refine_geom is not None:
+                    slot_env = page.envelope(slot) if rect_window is not None else None
+                    contained = slot_env is not None and rect_window.contains(slot_env)
+                    if not contained and not predicates.intersects(refine_geom, geom):
+                        continue
+                seen.add(record_id)
+                hits.append(QueryHit(record_id, geom, partition_id, page_id))
+        hits.sort(key=lambda h: h.record_id)
+        return hits
+
     def range_query(
         self, window: Union[Envelope, Geometry], exact: bool = True
     ) -> List[QueryHit]:
@@ -244,9 +410,9 @@ class SpatialDataStore:
         early exit, then the packed index (whose leaf envelopes bound every
         record, and therefore every page) selects the exact ``(page, slot)``
         candidates — only pages that actually hold candidates are fetched
-        and decoded.  With ``exact`` the geometric predicate is evaluated
-        (refine phase); otherwise the MBR test of the filter phase is the
-        answer.
+        (in coalesced runs) and only candidate slots are decoded.  With
+        ``exact`` the geometric predicate is evaluated (refine phase);
+        otherwise the MBR test of the filter phase is the answer.
         """
         self.stats.queries += 1
         if isinstance(window, Geometry):
@@ -261,28 +427,88 @@ class SpatialDataStore:
         if not self.manifest.partitions_for(query_env):
             return []
 
-        by_page: Dict[int, List[int]] = {}
-        for ref in self.index.query(query_env):
-            by_page.setdefault(ref.page_id, []).append(ref.slot)
+        by_page = self._candidate_slots(query_env)
+        if not by_page:
+            return []
+        pages = self._get_pages(by_page)
 
-        if exact and query_geom is None:
-            query_geom = Polygon.from_envelope(query_env)
+        if not exact:
+            return self._evaluate(by_page, pages, None)
+        if query_geom is None:
+            return self._evaluate(
+                by_page, pages, Polygon.from_envelope(query_env), rect_window=query_env
+            )
+        return self._evaluate(by_page, pages, query_geom)
 
-        hits: List[QueryHit] = []
-        seen: set = set()
-        for page_id in sorted(by_page):
-            records = self._load_page(page_id)
-            partition_id = self._partition_of_page.get(page_id, -1)
-            for slot in by_page[page_id]:
-                record_id, geom = records[slot]
-                if record_id in seen:
-                    continue
-                if exact and query_geom is not None and not predicates.intersects(query_geom, geom):
-                    continue
-                seen.add(record_id)
-                hits.append(QueryHit(record_id, geom, partition_id, page_id))
-        hits.sort(key=lambda h: h.record_id)
-        return hits
+    def range_query_batch(
+        self,
+        queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
+        exact: bool = True,
+    ) -> List[List[QueryHit]]:
+        """Serve a batch of ``(query_id, window)`` queries in one pass.
+
+        The batched front-end is where the filter-and-refine discipline pays
+        across probes, not just within one:
+
+        * windows are **Hilbert-ordered** before evaluation, so consecutive
+          queries touch neighbouring pages (page-cache locality when the
+          batch working set exceeds the cache);
+        * page touches are **deduped across the batch** — when the distinct
+          touched pages fit the cache they are fetched once, up front, in
+          coalesced runs spanning the whole batch, so ``read_requests``
+          stays far below the per-probe page touches (with a disabled or
+          undersized cache, fetching falls back to per-query coalesced
+          runs so memory stays bounded by one query's working set);
+        * decoded slots are memoised per page, so two probes hitting the
+          same record decode it once.
+
+        Returns one ``range_query``-identical hit list per query, in the
+        input order.
+        """
+        queries = list(queries)
+        self.stats.queries += len(queries)
+        results: List[List[QueryHit]] = [[] for _ in queries]
+
+        plans: List[Tuple[int, Envelope, Optional[Geometry], Dict[int, List[int]]]] = []
+        for i, (_, window) in enumerate(queries):
+            if isinstance(window, Geometry):
+                env: Envelope = window.envelope
+                geom: Optional[Geometry] = window
+            else:
+                env, geom = window, None
+            if env.is_empty or not self.manifest.partitions_for(env):
+                continue
+            by_page = self._candidate_slots(env)
+            if by_page:
+                plans.append((i, env, geom, by_page))
+        if not plans:
+            return results
+
+        order: Sequence[int] = range(len(plans))
+        if len(plans) > 1 and not self.extent.is_empty:
+            order = sort_by_hilbert([plan[1].centre for plan in plans], self.extent)
+
+        # bulk-fetch the batch working set only when the cache can actually
+        # hold it: with a disabled or undersized cache the per-query path
+        # below bounds memory to one query's working set (still coalesced
+        # per query) instead of pinning the whole batch
+        touched = sorted({pid for plan in plans for pid in plan[3]})
+        held: Dict[int, CachedPage] = {}
+        if 0 < len(touched) <= self._cache.capacity:
+            held = self._get_pages(touched)
+
+        for j in order:
+            i, env, geom, by_page = plans[j]
+            pages = held if held else self._get_pages(by_page)
+            refine: Optional[Geometry] = None
+            rect: Optional[Envelope] = None
+            if exact:
+                if geom is None:
+                    refine, rect = Polygon.from_envelope(env), env
+                else:
+                    refine = geom
+            results[i] = self._evaluate(by_page, pages, refine, rect_window=rect)
+        return results
 
     def join(
         self,
@@ -292,22 +518,36 @@ class SpatialDataStore:
         """Filter-and-refine join of in-memory *probes* against the store.
 
         The store's packed index is the filter phase; *predicate* is the
-        refine phase.  Returns ``(probe, hit)`` pairs.
+        refine phase.  Probes are served through :meth:`range_query_batch`,
+        so page touches are deduped and I/O is coalesced across the whole
+        probe collection.  Returns ``(probe, hit)`` pairs in probe order.
         """
+        probes = list(probes)
+        per_probe = self.range_query_batch(
+            [(i, probe.envelope) for i, probe in enumerate(probes)], exact=False
+        )
         pairs: List[Tuple[Geometry, QueryHit]] = []
-        for probe in probes:
-            for hit in self.range_query(probe.envelope, exact=False):
+        for probe, hits in zip(probes, per_probe):
+            for hit in hits:
                 if predicate(probe, hit.geometry):
                     pairs.append((probe, hit))
         return pairs
 
     def scan(self) -> Iterator[Tuple[int, Geometry]]:
-        """Every logical record once, in record-id order (round-trip checks)."""
+        """Every logical record once, in record-id order (round-trip checks).
+
+        The whole container is fetched in coalesced runs; under the
+        ``"no_scan"`` admission policy the pages bypass the cache so a scan
+        cannot evict the query working set.
+        """
+        admit = self.admission != "no_scan"
         seen: set = set()
         out: List[Tuple[int, Geometry]] = []
-        for page_id in range(self.num_pages):
-            for record_id, geom in self._load_page(page_id):
-                if record_id not in seen:
-                    seen.add(record_id)
-                    out.append((record_id, geom))
+        if self.num_pages:
+            pages = self._get_pages(range(self.num_pages), admit=admit)
+            for page_id in range(self.num_pages):
+                for record_id, geom in pages[page_id].records():
+                    if record_id not in seen:
+                        seen.add(record_id)
+                        out.append((record_id, geom))
         return iter(sorted(out, key=lambda t: t[0]))

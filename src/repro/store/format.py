@@ -8,7 +8,7 @@ path.  A dataset is stored as one *paged container* file:
 +----------------------+  offset 0
 | header (64 bytes)    |  magic, version, page size, counts, directory offset
 +----------------------+  offset 64
-| page 0 payload       |  <count:u32> then records (WKB + pickled userdata)
+| page 0 payload       |  <count:u32>, envelope column, then record bodies
 | page 1 payload       |
 | ...                  |
 +----------------------+  offset = header.dir_offset
@@ -16,6 +16,20 @@ path.  A dataset is stored as one *paged container* file:
 |                      |  and the page MBR (4 doubles)
 +----------------------+
 ```
+
+Two page-payload versions exist (the header records which one the file
+uses):
+
+* **v1** — ``<count:u32>`` followed by ``count`` records, each
+  ``<record_id:u32><wkb_len:u32><ud_len:u32><wkb><pickled userdata>``.
+* **v2** (current) — ``<count:u32>``, then a packed *envelope column* of
+  ``count`` entries ``<record_id:u32><body_offset:u32><4d MBR>`` (40 bytes
+  each, ``body_offset`` relative to the payload start), then the record
+  bodies ``<wkb_len:u32><ud_len:u32><wkb><pickled userdata>`` back to back.
+  The column is the page's *filter* phase made physical: a raw
+  ``struct``-level scan answers "which slots can match this window" without
+  touching WKB or pickle, and ``body_offset`` lets the refine phase decode
+  exactly the surviving slots.
 
 Every record carries a *logical record id*: geometries replicated into
 several partitions (the paper's grid replication) keep the same id, which is
@@ -32,23 +46,29 @@ from __future__ import annotations
 import pickle
 import struct
 from dataclasses import dataclass
-from typing import Iterable, List, NamedTuple, Sequence, Tuple
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..geometry import Envelope, Geometry, wkb
 
 __all__ = [
     "MAGIC",
     "VERSION",
+    "SUPPORTED_VERSIONS",
     "HEADER_SIZE",
     "PAGE_DIR_ENTRY",
+    "ENVELOPE_ENTRY",
     "StoreError",
     "StoreFormatError",
     "StoreHeader",
     "PageMeta",
     "RecordRef",
     "encode_record",
+    "encode_record_body",
     "decode_page",
+    "decode_envelope_column",
+    "decode_record_body",
     "encode_page",
+    "encode_page_v2",
     "pack_header",
     "unpack_header",
     "pack_page_directory",
@@ -56,7 +76,9 @@ __all__ = [
 ]
 
 MAGIC = b"RSPGSTO1"
-VERSION = 1
+VERSION = 2
+#: container versions this build can read (v1 files stay openable)
+SUPPORTED_VERSIONS = (1, 2)
 HEADER_SIZE = 64
 
 #: fixed part of the header (the remainder of the 64 bytes is zero padding)
@@ -66,8 +88,15 @@ _HEADER = struct.Struct("<8sHHIIQQ")  # magic, version, flags, page_size,
 #: one page-directory entry: offset, nbytes, count, page MBR
 PAGE_DIR_ENTRY = struct.Struct("<QII4d")
 
-#: per-record prefix inside a page: record id, WKB length, userdata length
+#: v1 per-record prefix inside a page: record id, WKB length, userdata length
 _RECORD_PREFIX = struct.Struct("<III")
+
+#: v2 envelope-column entry: record id, body offset (from payload start), MBR
+ENVELOPE_ENTRY = struct.Struct("<II4d")
+
+#: v2 per-body prefix: WKB length, userdata length (record id lives in the
+#: envelope column)
+_BODY_PREFIX = struct.Struct("<II")
 
 _PAGE_COUNT = struct.Struct("<I")
 
@@ -101,6 +130,8 @@ class StoreHeader:
     num_pages: int
     num_records: int
     dir_offset: int
+    #: page-payload layout version (1 = inline prefixes, 2 = envelope column)
+    version: int = VERSION
 
     @property
     def dir_nbytes(self) -> int:
@@ -122,20 +153,115 @@ class PageMeta:
 # records and pages
 # --------------------------------------------------------------------------- #
 def encode_record(record_id: int, geom: Geometry) -> bytes:
-    """Serialise one record: id-prefixed WKB plus pickled userdata (the same
-    payload the all-to-all exchange uses, so round-trips are lossless)."""
+    """Serialise one v1 record: id-prefixed WKB plus pickled userdata (the
+    same payload the all-to-all exchange uses, so round-trips are lossless)."""
     body = wkb.dumps(geom)
     userdata = b"" if geom.userdata is None else pickle.dumps(geom.userdata, protocol=4)
     return _RECORD_PREFIX.pack(record_id, len(body), len(userdata)) + body + userdata
 
 
+def encode_record_body(geom: Geometry) -> bytes:
+    """Serialise one v2 record *body* (the record id and MBR live in the
+    page's envelope column, not in the body)."""
+    body = wkb.dumps(geom)
+    userdata = b"" if geom.userdata is None else pickle.dumps(geom.userdata, protocol=4)
+    return _BODY_PREFIX.pack(len(body), len(userdata)) + body + userdata
+
+
 def encode_page(records: Sequence[bytes]) -> bytes:
-    """Concatenate pre-encoded records into one page payload."""
+    """Concatenate pre-encoded v1 records into one v1 page payload."""
     return _PAGE_COUNT.pack(len(records)) + b"".join(records)
 
 
-def decode_page(payload: bytes) -> List[Tuple[int, Geometry]]:
-    """Decode a page payload into ``[(record_id, geometry), ...]`` (slot order)."""
+def encode_page_v2(entries: Sequence[Tuple[int, Envelope, bytes]]) -> bytes:
+    """Pack ``(record_id, envelope, body)`` entries into one v2 page payload:
+    the count prefix, the packed envelope column, then the bodies."""
+    column_end = _PAGE_COUNT.size + len(entries) * ENVELOPE_ENTRY.size
+    column = bytearray()
+    body_offset = column_end
+    for record_id, env, body in entries:
+        column += ENVELOPE_ENTRY.pack(record_id, body_offset, *env.as_tuple())
+        body_offset += len(body)
+    return (
+        _PAGE_COUNT.pack(len(entries))
+        + bytes(column)
+        + b"".join(body for _, _, body in entries)
+    )
+
+
+def decode_envelope_column(
+    payload: bytes,
+) -> List[Tuple[int, int, float, float, float, float]]:
+    """Decode a v2 page's envelope column **without touching any body**.
+
+    Returns ``(record_id, body_offset, minx, miny, maxx, maxy)`` per slot.
+    This is the raw material of the filter phase: a pure ``struct`` scan.
+    """
+    if len(payload) < _PAGE_COUNT.size:
+        raise StoreFormatError("page payload shorter than its count prefix")
+    (count,) = _PAGE_COUNT.unpack_from(payload, 0)
+    column_end = _PAGE_COUNT.size + count * ENVELOPE_ENTRY.size
+    if column_end > len(payload):
+        raise StoreFormatError(
+            f"truncated envelope column: {count} slots need {column_end} bytes, "
+            f"page payload has {len(payload)}"
+        )
+    if count == 0 and len(payload) != _PAGE_COUNT.size:
+        raise StoreFormatError(
+            f"{len(payload) - _PAGE_COUNT.size} trailing bytes after empty page"
+        )
+    entries = list(
+        ENVELOPE_ENTRY.iter_unpack(payload[_PAGE_COUNT.size : column_end])
+    )
+    prev = column_end
+    for record_id, body_offset, *_ in entries:
+        if body_offset != prev:
+            raise StoreFormatError(
+                f"envelope column is inconsistent: body of record {record_id} "
+                f"at offset {body_offset}, expected {prev}"
+            )
+        if body_offset + _BODY_PREFIX.size > len(payload):
+            raise StoreFormatError("truncated record body in page payload")
+        body_len, ud_len = _BODY_PREFIX.unpack_from(payload, body_offset)
+        prev = body_offset + _BODY_PREFIX.size + body_len + ud_len
+        if prev > len(payload):
+            raise StoreFormatError("truncated record body in page payload")
+    if prev != len(payload):
+        raise StoreFormatError(
+            f"{len(payload) - prev} trailing bytes after the last record body"
+        )
+    return entries
+
+
+def decode_record_body(payload: bytes, body_offset: int) -> Geometry:
+    """Decode one v2 record body at *body_offset* (the refine phase: WKB and
+    pickle are only ever paid here, for slots that survived the filter)."""
+    if body_offset + _BODY_PREFIX.size > len(payload):
+        raise StoreFormatError("record body offset beyond page payload")
+    body_len, ud_len = _BODY_PREFIX.unpack_from(payload, body_offset)
+    pos = body_offset + _BODY_PREFIX.size
+    if pos + body_len + ud_len > len(payload):
+        raise StoreFormatError("truncated record body in page payload")
+    geom = wkb.loads(payload[pos : pos + body_len])
+    if ud_len:
+        geom.userdata = pickle.loads(payload[pos + body_len : pos + body_len + ud_len])
+    return geom
+
+
+def decode_page(payload: bytes, version: int = 1) -> List[Tuple[int, Geometry]]:
+    """Decode a page payload into ``[(record_id, geometry), ...]`` (slot order).
+
+    *version* selects the payload layout (default v1, the layout this
+    function decoded before the envelope column existed).  Trailing bytes
+    after the last record are corruption and raise :class:`StoreFormatError`.
+    """
+    if version not in SUPPORTED_VERSIONS:
+        raise StoreFormatError(f"unsupported page version {version}")
+    if version == 2:
+        return [
+            (record_id, decode_record_body(payload, body_offset))
+            for record_id, body_offset, *_ in decode_envelope_column(payload)
+        ]
     if len(payload) < _PAGE_COUNT.size:
         raise StoreFormatError("page payload shorter than its count prefix")
     (count,) = _PAGE_COUNT.unpack_from(payload, 0)
@@ -154,18 +280,36 @@ def decode_page(payload: bytes) -> List[Tuple[int, Geometry]]:
             geom.userdata = pickle.loads(payload[pos : pos + ud_len])
             pos += ud_len
         out.append((record_id, geom))
+    if pos != len(payload):
+        raise StoreFormatError(
+            f"{len(payload) - pos} trailing bytes after the last record"
+        )
     return out
 
 
 # --------------------------------------------------------------------------- #
 # header and page directory
 # --------------------------------------------------------------------------- #
-def pack_header(page_size: int, num_pages: int, num_records: int, dir_offset: int) -> bytes:
-    packed = _HEADER.pack(MAGIC, VERSION, 0, page_size, num_pages, num_records, dir_offset)
+def pack_header(
+    page_size: int,
+    num_pages: int,
+    num_records: int,
+    dir_offset: int,
+    version: int = VERSION,
+) -> bytes:
+    if version not in SUPPORTED_VERSIONS:
+        raise StoreFormatError(f"cannot write store version {version}")
+    packed = _HEADER.pack(MAGIC, version, 0, page_size, num_pages, num_records, dir_offset)
     return packed + b"\x00" * (HEADER_SIZE - len(packed))
 
 
-def unpack_header(data: bytes) -> StoreHeader:
+def unpack_header(data: bytes, file_size: Optional[int] = None) -> StoreHeader:
+    """Decode (and sanity-check) a container header.
+
+    When *file_size* is given the page directory is bounds-checked against
+    it, so a truncated file fails here with a :class:`StoreFormatError`
+    instead of surfacing later as a short-read ``struct.error``.
+    """
     if len(data) < HEADER_SIZE:
         raise StoreFormatError(
             f"store header needs {HEADER_SIZE} bytes, got {len(data)}"
@@ -175,14 +319,24 @@ def unpack_header(data: bytes) -> StoreHeader:
     )
     if magic != MAGIC:
         raise StoreFormatError(f"bad store magic {magic!r} (expected {MAGIC!r})")
-    if version != VERSION:
-        raise StoreFormatError(f"unsupported store version {version} (expected {VERSION})")
-    return StoreHeader(
+    if version not in SUPPORTED_VERSIONS:
+        raise StoreFormatError(
+            f"unsupported store version {version} (supported: {SUPPORTED_VERSIONS})"
+        )
+    header = StoreHeader(
         page_size=page_size,
         num_pages=num_pages,
         num_records=num_records,
         dir_offset=dir_offset,
+        version=version,
     )
+    if file_size is not None:
+        if dir_offset < HEADER_SIZE or dir_offset + header.dir_nbytes > file_size:
+            raise StoreFormatError(
+                f"page directory [{dir_offset}, {dir_offset + header.dir_nbytes}) "
+                f"does not fit the container ({file_size} bytes)"
+            )
+    return header
 
 
 def pack_page_directory(metas: Iterable[PageMeta]) -> bytes:
@@ -202,10 +356,20 @@ def unpack_page_directory(data: bytes, num_pages: int) -> List[PageMeta]:
             f"({num_pages} entries of {PAGE_DIR_ENTRY.size} bytes)"
         )
     metas: List[PageMeta] = []
+    prev_end = HEADER_SIZE
     for page_id in range(num_pages):
         offset, nbytes, count, minx, miny, maxx, maxy = PAGE_DIR_ENTRY.unpack_from(
             data, page_id * PAGE_DIR_ENTRY.size
         )
+        # pages are written back to back in page-id order; the serving
+        # path's run coalescing relies on that, so a directory violating it
+        # is corruption, not a layout variant
+        if offset < prev_end:
+            raise StoreFormatError(
+                f"page directory is not monotonic: page {page_id} at offset "
+                f"{offset} overlaps the bytes before it (expected >= {prev_end})"
+            )
+        prev_end = offset + nbytes
         metas.append(
             PageMeta(
                 page_id=page_id,

@@ -1,0 +1,144 @@
+"""Lazily-decoded page images held by the page cache.
+
+The paper's filter-and-refine discipline (§4.1, §5) applied to one page: the
+cache keeps the **raw payload** plus the cheap-to-parse metadata (record ids,
+body offsets and — for v2 containers — the packed envelope column), and a
+record body is WKB/pickle-decoded only when a query actually needs that
+slot.  Decoded geometries are memoised per slot, so a page that stays cached
+pays each decode at most once no matter how many queries touch it.
+
+For v1 payloads the envelope column does not exist on disk; the slot table
+is still recovered with a pure ``struct`` walk over the record prefixes
+(lengths only, no WKB/pickle), so lazy decode works for both versions — v1
+merely cannot answer envelope filters without decoding.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Callable, List, Optional, Tuple
+
+from ..geometry import Envelope, Geometry, wkb
+from .format import (
+    _PAGE_COUNT,
+    _RECORD_PREFIX,
+    StoreFormatError,
+    decode_envelope_column,
+    decode_record_body,
+)
+
+__all__ = ["CachedPage"]
+
+
+class CachedPage:
+    """One page of a store container, decoded on demand.
+
+    ``record_ids[slot]`` and (v2) ``envelope(slot)`` are available without
+    touching any record body; :meth:`record` decodes a single slot and
+    memoises it.  *on_decode* is called with the number of records actually
+    decoded, which is how the store's ``records_decoded`` statistic counts
+    refine-phase work instead of page-touch work.
+    """
+
+    __slots__ = (
+        "page_id",
+        "version",
+        "payload",
+        "count",
+        "record_ids",
+        "body_offsets",
+        "bounds",
+        "_memo",
+        "_on_decode",
+    )
+
+    def __init__(
+        self,
+        page_id: int,
+        payload: bytes,
+        version: int,
+        on_decode: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.page_id = page_id
+        self.version = version
+        self.payload = payload
+        self._on_decode = on_decode
+        self.record_ids: List[int] = []
+        self.body_offsets: List[int] = []
+        #: per-slot (minx, miny, maxx, maxy), or ``None`` for v1 payloads
+        self.bounds: Optional[List[Tuple[float, float, float, float]]] = None
+        if version >= 2:
+            entries = decode_envelope_column(payload)
+            self.count = len(entries)
+            bounds: List[Tuple[float, float, float, float]] = []
+            for record_id, body_offset, minx, miny, maxx, maxy in entries:
+                self.record_ids.append(record_id)
+                self.body_offsets.append(body_offset)
+                bounds.append((minx, miny, maxx, maxy))
+            self.bounds = bounds
+        else:
+            self.count = self._walk_v1(payload)
+        self._memo: List[Optional[Geometry]] = [None] * self.count
+
+    def _walk_v1(self, payload: bytes) -> int:
+        """Recover the slot table of a v1 payload with struct-only parsing."""
+        if len(payload) < _PAGE_COUNT.size:
+            raise StoreFormatError("page payload shorter than its count prefix")
+        (count,) = _PAGE_COUNT.unpack_from(payload, 0)
+        pos = _PAGE_COUNT.size
+        for _ in range(count):
+            if pos + _RECORD_PREFIX.size > len(payload):
+                raise StoreFormatError("truncated record prefix in page payload")
+            record_id, body_len, ud_len = _RECORD_PREFIX.unpack_from(payload, pos)
+            self.record_ids.append(record_id)
+            self.body_offsets.append(pos)
+            pos += _RECORD_PREFIX.size + body_len + ud_len
+            if pos > len(payload):
+                raise StoreFormatError("truncated record body in page payload")
+        if pos != len(payload):
+            raise StoreFormatError(
+                f"{len(payload) - pos} trailing bytes after the last record"
+            )
+        return count
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def decoded_slots(self) -> int:
+        """How many of this page's slots have been decoded so far."""
+        return sum(1 for g in self._memo if g is not None)
+
+    def envelope(self, slot: int) -> Optional[Envelope]:
+        """The slot's MBR from the envelope column (``None`` on v1 pages)."""
+        if self.bounds is None:
+            return None
+        return Envelope(*self.bounds[slot])
+
+    def record(self, slot: int) -> Tuple[int, Geometry]:
+        """Decode (and memoise) one slot — the refine phase for that record."""
+        geom = self._memo[slot]
+        if geom is None:
+            if self.version >= 2:
+                geom = decode_record_body(self.payload, self.body_offsets[slot])
+            else:
+                geom = self._decode_v1_body(self.body_offsets[slot])
+            self._memo[slot] = geom
+            if self._on_decode is not None:
+                self._on_decode(1)
+        return self.record_ids[slot], geom
+
+    def _decode_v1_body(self, offset: int) -> Geometry:
+        _, body_len, ud_len = _RECORD_PREFIX.unpack_from(self.payload, offset)
+        pos = offset + _RECORD_PREFIX.size
+        geom = wkb.loads(self.payload[pos : pos + body_len])
+        if ud_len:
+            geom.userdata = pickle.loads(
+                self.payload[pos + body_len : pos + body_len + ud_len]
+            )
+        return geom
+
+    def records(self) -> List[Tuple[int, Geometry]]:
+        """Every slot decoded, in slot order (full scans)."""
+        return [self.record(slot) for slot in range(self.count)]

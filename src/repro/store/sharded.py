@@ -33,7 +33,7 @@ from ..geometry import Envelope, Geometry, Polygon, predicates
 from ..mpisim import Communicator
 from ..pfs import ReadRequest, SimulatedFilesystem
 from .datastore import QueryHit, SpatialDataStore
-from .format import StoreError, StoreFormatError
+from .format import VERSION, StoreError, StoreFormatError
 from .manifest import ShardInfo, ShardsManifest, shard_store_name, shards_path
 from .router import ShardRouter, shard_assignment
 from .writer import (
@@ -155,6 +155,7 @@ class ShardedStoreWriter:
         page_size: int = 4096,
         node_capacity: int = 16,
         order: str = "hilbert",
+        format_version: int = VERSION,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -167,6 +168,7 @@ class ShardedStoreWriter:
         self.page_size = page_size
         self.node_capacity = node_capacity
         self.order = order
+        self.format_version = format_version
 
     # ------------------------------------------------------------------ #
     def load(self, geometries: Iterable[Geometry]) -> ShardedLoadResult:
@@ -183,7 +185,9 @@ class ShardedStoreWriter:
 
         for shard_id, run in enumerate(runs):
             shard_cells = {cid: cells[cid] for cid in run}
-            packed = pack_partitions(shard_cells, grid, self.page_size, self.order)
+            packed = pack_partitions(
+                shard_cells, grid, self.page_size, self.order, self.format_version
+            )
             store = shard_store_name(self.name, shard_id)
             manifest, paths, data_bytes, index_bytes, shard_write = write_store_files(
                 self.fs,
@@ -195,6 +199,7 @@ class ShardedStoreWriter:
                 grid_cols=grid.cols,
                 num_records=len(packed.record_ids),
                 node_capacity=self.node_capacity,
+                format_version=self.format_version,
             )
             write_seconds += shard_write
             total_replicas += packed.num_replicas
@@ -298,6 +303,9 @@ class DistributedStoreServer:
         fs: SimulatedFilesystem,
         manifest: ShardsManifest,
         cache_pages: int = 64,
+        admission: str = "all",
+        coalesce_gap: Optional[int] = None,
+        prefetch_pages: int = 0,
     ) -> None:
         self.comm = comm
         self.fs = fs
@@ -315,7 +323,12 @@ class DistributedStoreServer:
             shard = manifest.shards[sid]
             with self._shard_guard(shard, "open"):
                 self.stores[sid] = SpatialDataStore.open(
-                    fs, shard.store, cache_pages=cache_pages
+                    fs,
+                    shard.store,
+                    cache_pages=cache_pages,
+                    admission=admission,
+                    coalesce_gap=coalesce_gap,
+                    prefetch_pages=prefetch_pages,
                 )
             self.comm.clock.advance(self.stores[sid].stats.io_seconds, category="io")
 
@@ -327,6 +340,9 @@ class DistributedStoreServer:
         fs: SimulatedFilesystem,
         name: str,
         cache_pages: int = 64,
+        admission: str = "all",
+        coalesce_gap: Optional[int] = None,
+        prefetch_pages: int = 0,
     ) -> "DistributedStoreServer":
         """Collectively open a sharded store: rank 0 reads ``shards.json``
         and broadcasts it, then every rank opens its assigned shards."""
@@ -346,7 +362,15 @@ class DistributedStoreServer:
             )
             manifest = ShardsManifest.from_json(raw.decode("utf-8"))
         manifest = comm.bcast(manifest, root=0)
-        return cls(comm, fs, manifest, cache_pages=cache_pages)
+        return cls(
+            comm,
+            fs,
+            manifest,
+            cache_pages=cache_pages,
+            admission=admission,
+            coalesce_gap=coalesce_gap,
+            prefetch_pages=prefetch_pages,
+        )
 
     def close(self) -> None:
         for store in self.stores.values():
@@ -430,20 +454,35 @@ class DistributedStoreServer:
     # ------------------------------------------------------------------ #
     # local serving
     # ------------------------------------------------------------------ #
+    def _shard_filter_batch(
+        self, sid: int, entries: List[Tuple[Any, ...]], action: str
+    ) -> List[Tuple[Tuple[Any, ...], List[QueryHit]]]:
+        """Guarded batched filter pass of one shard over plan *entries*
+        (window last in each tuple).  Entries outside the shard extent are
+        dropped; the rest are served in one ``range_query_batch`` pass
+        (Hilbert-ordered, page touches deduped, reads coalesced).  Only the
+        store access runs under the shard guard, so refine work done by the
+        caller is never misreported as corruption."""
+        shard = self.manifest.shards[sid]
+        if shard.extent.is_empty:
+            return []
+        kept = [e for e in entries if shard.extent.intersects(e[-1])]
+        if not kept:
+            return []
+        with self._shard_guard(shard, action):
+            batches = self.stores[sid].range_query_batch(
+                [(None, e[-1]) for e in kept], exact=False
+            )
+        return list(zip(kept, batches))
+
     def _local_query(
         self, plan: List[Tuple[int, Any, Envelope]], exact: bool
     ) -> List[Tuple[int, Any, int, int, int, int, Geometry]]:
         out: List[Tuple[int, Any, int, int, int, int, Geometry]] = []
         for sid in self.my_shards:
-            shard = self.manifest.shards[sid]
-            store = self.stores[sid]
-            for idx, qid, window in plan:
-                if shard.extent.is_empty or not shard.extent.intersects(window):
-                    continue
-                # only the store access is guarded (same contract as join():
-                # predicate evaluation is never misreported as corruption)
-                with self._shard_guard(shard, "query"):
-                    candidates = store.range_query(window, exact=False)
+            for (idx, qid, window), candidates in self._shard_filter_batch(
+                sid, list(plan), "query"
+            ):
                 refine = Polygon.from_envelope(window) if exact else None
                 for hit in candidates:
                     if refine is not None and not predicates.intersects(refine, hit.geometry):
@@ -583,15 +622,11 @@ class DistributedStoreServer:
         ) -> List[Tuple[int, Any, int, int, int, int, Geometry]]:
             local: List[Tuple[int, Any, int, int, int, int, Geometry]] = []
             for sid in self.my_shards:
-                shard = self.manifest.shards[sid]
-                store = self.stores[sid]
-                for idx, probe, env in mine:
-                    if shard.extent.is_empty or not shard.extent.intersects(env):
-                        continue
-                    # only store access is guarded: a buggy user predicate
-                    # must not be misreported as shard corruption
-                    with self._shard_guard(shard, "join"):
-                        candidates = store.range_query(env, exact=False)
+                # the user predicate refines outside the shard guard: a
+                # buggy predicate must not be misreported as corruption
+                for (idx, probe, env), candidates in self._shard_filter_batch(
+                    sid, list(mine), "join"
+                ):
                     for hit in candidates:
                         if predicate(probe, hit.geometry):
                             local.append(

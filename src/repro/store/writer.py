@@ -24,11 +24,15 @@ from ..geometry import Envelope, Geometry
 from ..index import STRtree, UniformGrid, sort_by_hilbert, sort_by_zorder
 from ..pfs import ReadRequest, SimulatedFilesystem
 from .format import (
+    ENVELOPE_ENTRY,
     HEADER_SIZE,
+    VERSION,
     PageMeta,
     RecordRef,
     encode_page,
+    encode_page_v2,
     encode_record,
+    encode_record_body,
     pack_header,
     pack_page_directory,
 )
@@ -103,12 +107,21 @@ def pack_partitions(
     grid: UniformGrid,
     page_size: int,
     order: str = "hilbert",
+    format_version: int = VERSION,
 ) -> PackedPartitions:
     """Pack pre-partitioned records into pages (the partition→page half of a
     bulk load).  *cells* maps global grid cell ids to their record replicas;
-    pages never span partitions and page ids are local to this pack."""
+    pages never span partitions and page ids are local to this pack.
+
+    ``format_version`` selects the page layout (v2 by default; v1 for
+    compatibility round-trips).  In v2 each record's envelope-column entry is
+    counted against the page-size budget, so a page payload never exceeds
+    ``page_size`` plus the count prefix regardless of version.
+    """
     packed = PackedPartitions()
     data_offset = HEADER_SIZE
+    # per-record byte cost charged against page_size (body + column entry)
+    overhead = ENVELOPE_ENTRY.size if format_version >= 2 else 0
 
     for cell_id in sorted(cells):
         part_recs = cells[cell_id]
@@ -120,14 +133,18 @@ def pack_partitions(
         )
 
         current: List[bytes] = []
+        current_rids: List[int] = []
         current_envs: List[Envelope] = []
         current_bytes = 0
 
         def flush_page() -> None:
-            nonlocal current, current_envs, current_bytes, data_offset
+            nonlocal current, current_rids, current_envs, current_bytes, data_offset
             if not current:
                 return
-            payload = encode_page(current)
+            if format_version >= 2:
+                payload = encode_page_v2(list(zip(current_rids, current_envs, current)))
+            else:
+                payload = encode_page(current)
             page_id = len(packed.page_metas)
             mbr = Envelope.empty()
             for env in current_envs:
@@ -146,16 +163,20 @@ def pack_partitions(
             packed.payloads.append(payload)
             part.page_ids.append(page_id)
             data_offset += len(payload)
-            current, current_envs, current_bytes = [], [], 0
+            current, current_rids, current_envs, current_bytes = [], [], [], 0
 
         for idx in ordering:
             rec = part_recs[idx]
-            encoded = encode_record(rec.rid, rec.geom)
-            if current and current_bytes + len(encoded) > page_size:
+            if format_version >= 2:
+                encoded = encode_record_body(rec.geom)
+            else:
+                encoded = encode_record(rec.rid, rec.geom)
+            if current and current_bytes + len(encoded) + overhead > page_size:
                 flush_page()
             current.append(encoded)
+            current_rids.append(rec.rid)
             current_envs.append(rec.envelope)
-            current_bytes += len(encoded)
+            current_bytes += len(encoded) + overhead
             part.record_count += 1
             part.data_mbr = part.data_mbr.union(rec.envelope)
             packed.num_replicas += 1
@@ -176,6 +197,7 @@ def write_store_files(
     grid_cols: int,
     num_records: int,
     node_capacity: int = 16,
+    format_version: int = VERSION,
 ) -> Tuple[StoreManifest, Dict[str, str], int, int, float]:
     """Persist a packed store as the canonical three-file layout.
 
@@ -183,7 +205,8 @@ def write_store_files(
     """
     paths = store_paths(name)
     header = pack_header(page_size, len(packed.page_metas), num_records,
-                         HEADER_SIZE + sum(len(p) for p in packed.payloads))
+                         HEADER_SIZE + sum(len(p) for p in packed.payloads),
+                         version=format_version)
     data = header + b"".join(packed.payloads) + pack_page_directory(packed.page_metas)
 
     tree: STRtree = STRtree(packed.index_entries, node_capacity=node_capacity)
@@ -252,18 +275,21 @@ def bulk_load(
     page_size: int = 4096,
     node_capacity: int = 16,
     order: str = "hilbert",
+    format_version: int = VERSION,
 ) -> BulkLoadResult:
     """Persist *geometries* as the named store on *fs*.
 
     ``page_size`` is the target payload size in bytes: records are appended
     to a page until it would overflow (a single oversized record still gets
-    a page of its own).  Pages never span partitions.
+    a page of its own).  Pages never span partitions.  ``format_version``
+    selects the page layout (v2 envelope-column pages by default; pass 1 to
+    write a container older builds can read).
     """
     if page_size < 64:
         raise ValueError("page_size must be >= 64 bytes")
 
     usable, grid, cells, skipped, extent = partition_records(geometries, num_partitions)
-    packed = pack_partitions(cells, grid, page_size, order)
+    packed = pack_partitions(cells, grid, page_size, order, format_version)
     manifest, paths, data_bytes, index_bytes, write_seconds = write_store_files(
         fs,
         name,
@@ -274,6 +300,7 @@ def bulk_load(
         grid_cols=grid.cols,
         num_records=len(usable),
         node_capacity=node_capacity,
+        format_version=format_version,
     )
 
     return BulkLoadResult(
