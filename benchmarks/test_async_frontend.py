@@ -1,0 +1,204 @@
+"""Async multiplexing front-end — concurrency sweep and cost-model prefetch.
+
+Not a figure of the paper: this benchmark extends the `repro.store` perf
+trajectory to PR 4's staged engine and async front-end.
+
+* **Concurrency sweep** — the same query batches served through one
+  `DistributedStoreServer` at 1, 4 and 16 in-flight batches
+  (`AsyncStoreFrontend`) against strict sequential submission.  Expected
+  shape: identical per-batch hits everywhere, and phase-overlapped
+  virtual-clock throughput rising with the window — the windowed pipeline
+  must beat sequential submission at ≥ 4 in-flight batches.
+* **Cost-model vs fixed prefetch** — the same window sweep served by one
+  store under the fixed heuristics (page-size gap, constant readahead)
+  and under `io_policy="cost_model"` (break-even gap + stripe-aligned
+  readahead from the `repro.pfs` layout).  Expected shape: identical hits
+  with no more coalesced read requests.
+
+Set ``ASYNC_FRONTEND_QUICK=1`` for the CI smoke variant (fewer batches,
+fewer ranks).
+"""
+
+import os
+
+import pytest
+
+from repro import mpisim
+from repro.bench.reporting import FigureReport
+from repro.core import VectorIO
+from repro.datasets import random_envelopes
+from repro.store import (
+    AsyncStoreFrontend,
+    DistributedStoreServer,
+    SpatialDataStore,
+    bulk_load,
+    sharded_bulk_load,
+)
+
+QUICK = bool(os.environ.get("ASYNC_FRONTEND_QUICK"))
+NPROCS = 2 if QUICK else 4
+NUM_BATCHES = 8 if QUICK else 16
+PER_BATCH = 4 if QUICK else 8
+WINDOWS = (1, 4) if QUICK else (1, 4, 16)
+
+
+@pytest.fixture(scope="module")
+def frontend_store(lustre, join_datasets):
+    geometries = VectorIO(lustre).sequential_read(
+        join_datasets["lakes_uniform"]
+    ).geometries
+    sharded = sharded_bulk_load(lustre, "bench_async_lakes", geometries,
+                                num_shards=NPROCS, num_partitions=16,
+                                page_size=4096)
+    bulk_load(lustre, "bench_async_single", geometries, num_partitions=16,
+              page_size=4096)
+    envs = list(
+        random_envelopes(NUM_BATCHES * PER_BATCH, extent=sharded.manifest.extent,
+                         max_size_fraction=0.1, seed=71)
+    )
+    batches = [
+        [(f"b{b}.q{i}", env)
+         for i, env in enumerate(envs[b * PER_BATCH:(b + 1) * PER_BATCH])]
+        for b in range(NUM_BATCHES)
+    ]
+    return {"batches": batches, "extent": sharded.manifest.extent}
+
+
+def _serve(lustre, batches, mode, window=1):
+    """One cold-cache serving run; returns rank 0's FrontendResult."""
+
+    def prog(comm):
+        with DistributedStoreServer.open(
+            comm, lustre, "bench_async_lakes", cache_pages=128
+        ) as server:
+            frontend = AsyncStoreFrontend(server, max_in_flight=window)
+            root = batches if comm.rank == 0 else None
+            if mode == "sequential":
+                return frontend.serve_sequential(root)
+            return frontend.serve(root)
+
+    return mpisim.run_spmd(prog, NPROCS).values[0]
+
+
+def test_async_frontend_concurrency_sweep(lustre, frontend_store, benchmark, once):
+    batches = frontend_store["batches"]
+
+    def driver():
+        report = FigureReport(
+            "AsyncServe", "Concurrent query batches over one sharded server",
+            "in_flight", "value",
+        )
+        qps = report.add_series("queries_per_second")
+        lat = report.add_series("mean_latency_ms")
+
+        sequential = _serve(lustre, batches, "sequential")
+        qps.add("sequential", sequential.queries_per_second)
+        lat.add("sequential", sequential.mean_latency * 1e3)
+
+        sweep = {}
+        for window in WINDOWS:
+            result = _serve(lustre, batches, "async", window=window)
+            sweep[window] = result
+            qps.add(str(window), result.queries_per_second)
+            lat.add(str(window), result.mean_latency * 1e3)
+
+        report.note(
+            f"{len(batches)} batches x {PER_BATCH} queries on {NPROCS} ranks; "
+            f"sequential {sequential.queries_per_second:.0f} q/s vs "
+            + ", ".join(
+                f"W={w}: {r.queries_per_second:.0f} q/s" for w, r in sweep.items()
+            )
+        )
+        return report, sequential, sweep
+
+    report, sequential, sweep = once(driver)
+    report.print()
+
+    # equal results first: the pipeline is an optimization, not a rewrite
+    seq_keys = [
+        [(h.query_id, h.record_id) for h in hits] for hits in sequential.batches
+    ]
+    for result in sweep.values():
+        assert [
+            [(h.query_id, h.record_id) for h in hits] for hits in result.batches
+        ] == seq_keys
+
+    # the acceptance bar: ≥ 4 concurrent batches with phase-overlapped
+    # virtual-clock throughput exceeding sequential submission
+    assert sweep[4].queries_per_second > sequential.queries_per_second
+    assert sweep[4].makespan < sequential.makespan
+
+    benchmark.extra_info["num_batches"] = len(batches)
+    benchmark.extra_info["queries_per_batch"] = PER_BATCH
+    benchmark.extra_info["nprocs"] = NPROCS
+    benchmark.extra_info["sequential"] = sequential.summary()
+    for window, result in sweep.items():
+        benchmark.extra_info[f"in_flight_{window}"] = result.summary()
+        benchmark.extra_info[f"speedup_{window}"] = (
+            result.queries_per_second / sequential.queries_per_second
+            if sequential.queries_per_second else float("inf")
+        )
+
+
+def test_cost_model_vs_fixed_prefetch(lustre, frontend_store, benchmark, once):
+    extent = frontend_store["extent"]
+    queries = [
+        (i, env)
+        for i, env in enumerate(
+            random_envelopes(24 if QUICK else 60, extent=extent,
+                             max_size_fraction=0.08, seed=93)
+        )
+    ]
+
+    def serve(**open_kwargs):
+        store = SpatialDataStore.open(lustre, "bench_async_single",
+                                      cache_pages=256, **open_kwargs)
+        hits = store.range_query_batch(queries, exact=False)
+        stats = store.stats.as_dict()
+        store.close()
+        keys = [[h.record_id for h in per] for per in hits]
+        return keys, stats
+
+    def driver():
+        report = FigureReport(
+            "CostModelPrefetch", "Fixed heuristics vs cost-model I/O scheduling",
+            "policy", "value",
+        )
+        reqs = report.add_series("read_requests")
+        pre = report.add_series("pages_prefetched")
+        io = report.add_series("io_milliseconds")
+
+        fixed_keys, fixed = serve()
+        fixed4_keys, fixed4 = serve(prefetch_pages=4)
+        cost_keys, cost = serve(io_policy="cost_model")
+        for label, stats in (("fixed", fixed), ("fixed_prefetch4", fixed4),
+                             ("cost_model", cost)):
+            reqs.add(label, stats["read_requests"])
+            pre.add(label, stats["pages_prefetched"])
+            io.add(label, stats["io_seconds"] * 1e3)
+
+        report.note(
+            f"{len(queries)} windows; read_requests fixed={fixed['read_requests']:.0f} "
+            f"fixed+4={fixed4['read_requests']:.0f} cost={cost['read_requests']:.0f}; "
+            f"prefetched cost={cost['pages_prefetched']:.0f}"
+        )
+        return report, (fixed_keys, fixed4_keys, cost_keys), (fixed, fixed4, cost)
+
+    report, (fixed_keys, fixed4_keys, cost_keys), (fixed, fixed4, cost) = once(driver)
+    report.print()
+
+    # identical answers under every policy
+    assert cost_keys == fixed_keys == fixed4_keys
+
+    # the break-even gap merges at least as aggressively as the page-size gap
+    assert cost["read_requests"] <= fixed["read_requests"]
+
+    benchmark.extra_info["queries"] = len(queries)
+    for label, stats in (("fixed", fixed), ("fixed_prefetch4", fixed4),
+                         ("cost_model", cost)):
+        benchmark.extra_info[label] = {
+            "read_requests": float(stats["read_requests"]),
+            "pages_prefetched": float(stats["pages_prefetched"]),
+            "pages_read": float(stats["pages_read"]),
+            "io_seconds": float(stats["io_seconds"]),
+        }

@@ -101,11 +101,13 @@ def join_with_store(
     The serving-path alternative to re-running the distributed pipeline for
     the stored layer: the store's packed index plays the filter phase and
     *predicate* the refine phase.  The probe collection is served through the
-    store's batched front-end (``range_query_batch``), so probe windows are
-    Hilbert-ordered, page touches are deduped across probes and page reads
-    are coalesced.  Replicated stored geometries are already de-duplicated by
-    the store, so each qualifying pair appears exactly once; ``cell_id`` is
-    the store partition that served the stored geometry.
+    store's batched front-end (``range_query_batch``, i.e. the staged
+    plan → schedule → refine engine), so probe windows follow the shared
+    Hilbert visit order, page touches are deduped across probes and page
+    reads are coalesced by the I/O scheduler.  Replicated stored geometries
+    are already de-duplicated by the store, so each qualifying pair appears
+    exactly once; ``cell_id`` is the store partition that served the stored
+    geometry.
     """
     return [
         JoinPair(left=probe, right=hit.geometry, cell_id=hit.partition_id)
@@ -124,9 +126,10 @@ def join_distributed_with_store(
 
     The distributed counterpart of :func:`join_with_store`: rank 0 supplies
     the probes, the server routes each probe MBR to the intersecting shards,
-    ranks filter-and-refine locally through their page caches, and rank 0
-    receives pairs de-duplicated on ``(probe, record_id)``.  ``cell_id`` is
-    the global partition of the replica that served the pair.
+    ranks filter locally through their shard stores' engines (the predicate
+    refines outside the shard guard), and rank 0 receives pairs de-duplicated
+    on ``(probe, record_id)``.  ``cell_id`` is the global partition of the
+    replica that served the pair.
     """
     pairs = server.join(
         probes if comm.rank == 0 else None, predicate, broadcast=broadcast

@@ -90,11 +90,13 @@ class RangeQuery(SpatialComputation):
 
         The alternative data source to :meth:`execute`: instead of re-reading,
         re-partitioning and re-indexing the raw dataset, the whole batch is
-        answered in one ``range_query_batch`` pass — windows Hilbert-ordered
-        for page-cache locality, page touches deduped across queries, reads
-        coalesced into runs.  Replica de-duplication happens inside the store
-        (by logical record id), so no reference-point test is needed;
-        ``cell_id`` reports the partition of the page that served the match.
+        answered in one ``range_query_batch`` pass through the store's staged
+        **plan → schedule → refine** engine (:class:`repro.store.StoreEngine`)
+        — windows ordered along the shared Hilbert visit order for page-cache
+        locality, page touches deduped across queries, reads coalesced into
+        scheduler runs.  Replica de-duplication happens inside the store (by
+        logical record id), so no reference-point test is needed; ``cell_id``
+        reports the partition of the page that served the match.
         """
         per_query = store.range_query_batch(self.queries, exact=True)
         matches: List[QueryMatch] = []
@@ -116,10 +118,14 @@ class RangeQuery(SpatialComputation):
 
         The distributed counterpart of :meth:`execute_from_store`: the server
         routes each window to the shards whose extents it intersects, scatters
-        the batch, answers through the per-rank page caches and gathers the
-        record-id-de-duplicated hits at rank 0.  Rank 0 returns the matches
-        (``cell_id`` is the global partition that served the hit, as in the
-        single-store path); other ranks return ``None`` unless *broadcast*.
+        the batch, answers locally through each shard store's engine (the same
+        plan → schedule → refine pipeline as the single-store path, per-rank
+        page caches included) and gathers the record-id-de-duplicated hits at
+        rank 0.  Rank 0 returns the matches (``cell_id`` is the global
+        partition that served the hit, as in the single-store path); other
+        ranks return ``None`` unless *broadcast*.  For many concurrent
+        batches, :class:`repro.store.AsyncStoreFrontend` multiplexes them over
+        one server with the serving phases overlapped.
         """
         hits = server.range_query_batch(
             self.queries if comm.rank == 0 else None, exact=True, broadcast=broadcast

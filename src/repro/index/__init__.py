@@ -4,10 +4,12 @@ from .grid import GridCell, UniformGrid, block_mapping, round_robin_mapping
 from .quadtree import Quadtree
 from .rtree import RTree, RTreeStats, STRtree
 from .sfc import (
+    VISIT_ORDER_CURVES,
     hilbert_decode,
     hilbert_encode,
     sort_by_hilbert,
     sort_by_zorder,
+    spatial_visit_order,
     zorder_decode,
     zorder_encode,
 )
@@ -27,4 +29,6 @@ __all__ = [
     "hilbert_decode",
     "sort_by_zorder",
     "sort_by_hilbert",
+    "spatial_visit_order",
+    "VISIT_ORDER_CURVES",
 ]

@@ -20,6 +20,8 @@ __all__ = [
     "normalise_to_grid",
     "sort_by_zorder",
     "sort_by_hilbert",
+    "spatial_visit_order",
+    "VISIT_ORDER_CURVES",
 ]
 
 
@@ -153,3 +155,35 @@ def sort_by_hilbert(
     ]
     keyed.sort()
     return [i for _, i in keyed]
+
+
+#: curve names accepted by :func:`spatial_visit_order`
+VISIT_ORDER_CURVES = ("hilbert", "zorder", "none")
+
+
+def spatial_visit_order(
+    points: Sequence[Tuple[float, float]],
+    extent: Envelope,
+    curve: str = "hilbert",
+    order: int = 16,
+) -> List[int]:
+    """Spatially local visit order of *points* — the one shared ordering rule.
+
+    Every layer that walks a collection in space-filling-curve order (the bulk
+    loader packing a partition's records, the query engine ordering a batch's
+    windows, the sharded writer ordering each shard's partitions) routes
+    through this helper, so the visit order can never silently diverge between
+    the write path and the serving path.
+
+    Degenerate inputs keep the input order: fewer than two points, an empty
+    extent (nothing to normalise against), or ``curve="none"``.
+    """
+    if curve not in VISIT_ORDER_CURVES:
+        raise ValueError(
+            f"unknown visit-order curve {curve!r} (use one of {VISIT_ORDER_CURVES})"
+        )
+    if len(points) < 2 or curve == "none" or extent.is_empty:
+        return list(range(len(points)))
+    if curve == "hilbert":
+        return sort_by_hilbert(points, extent, order)
+    return sort_by_zorder(points, extent, order)

@@ -25,18 +25,39 @@ for it again:
     The :class:`SpatialDataStore` facade: ``open()``, ``range_query()``,
     ``join()``.
 
+``repro.store.engine`` / ``repro.store.scheduler``
+    The staged **plan → schedule → refine** query engine every serving entry
+    point routes through: :class:`QueryPlanner` (filter phase),
+    :class:`IOScheduler` (coalesced, cost-model-aware page I/O) and
+    :class:`RefineExecutor` (lazy decode + replica de-dup), composed by
+    :class:`StoreEngine`.
+
 ``repro.store.sharded`` / ``repro.store.router``
     Distributed serving: :class:`ShardedStoreWriter` splits a bulk load into
     per-rank shard stores routed by a top-level ``shards.json`` manifest,
     and :class:`DistributedStoreServer` serves batch range queries and joins
     SPMD-style across ``mpisim`` ranks.
+
+``repro.store.frontend``
+    :class:`AsyncStoreFrontend` — multiplexes many in-flight query batches
+    over one :class:`DistributedStoreServer`, overlapping the route/scatter/
+    local-query/gather phases on the virtual clock.
 """
 
 from .cache import CacheStats, LRUPageCache
-from .datastore import ADMISSION_POLICIES, QueryHit, SpatialDataStore, StoreStats
+from .datastore import (
+    ADMISSION_POLICIES,
+    IO_POLICIES,
+    QueryHit,
+    SpatialDataStore,
+    StoreStats,
+)
+from .engine import PlanEntry, QueryPlan, QueryPlanner, RefineExecutor, StoreEngine
 from .format import PageMeta, RecordRef, StoreError, StoreFormatError, StoreHeader
+from .frontend import AsyncStoreFrontend, BatchMetrics, FrontendResult
 from .page import CachedPage
 from .index_io import dump_index, load_index
+from .scheduler import IOSchedule, IOScheduler, ScheduledRun, cost_model_gap
 from .manifest import (
     PartitionInfo,
     ShardInfo,
@@ -59,7 +80,20 @@ from .writer import BulkLoadResult, bulk_load
 
 __all__ = [
     "ADMISSION_POLICIES",
+    "IO_POLICIES",
     "SpatialDataStore",
+    "StoreEngine",
+    "QueryPlanner",
+    "QueryPlan",
+    "PlanEntry",
+    "RefineExecutor",
+    "IOScheduler",
+    "IOSchedule",
+    "ScheduledRun",
+    "cost_model_gap",
+    "AsyncStoreFrontend",
+    "BatchMetrics",
+    "FrontendResult",
     "QueryHit",
     "StoreStats",
     "CacheStats",

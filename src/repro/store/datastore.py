@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..geometry import Envelope, Geometry, Polygon, predicates
-from ..index import STRtree, sort_by_hilbert
+from ..geometry import Envelope, Geometry, predicates
+from ..index import STRtree
 from ..pfs import FileHandle, ReadRequest, SimulatedFilesystem
 from .cache import CacheStats, LRUPageCache
+from .engine import StoreEngine
 from .format import (
     HEADER_SIZE,
     VERSION,
@@ -35,9 +36,16 @@ from .format import (
 from .index_io import load_index
 from .manifest import StoreManifest, store_paths
 from .page import CachedPage
+from .scheduler import IOScheduler
 from .writer import BulkLoadResult, bulk_load
 
-__all__ = ["ADMISSION_POLICIES", "QueryHit", "StoreStats", "SpatialDataStore"]
+__all__ = [
+    "ADMISSION_POLICIES",
+    "IO_POLICIES",
+    "QueryHit",
+    "StoreStats",
+    "SpatialDataStore",
+]
 
 Predicate = Callable[[Geometry, Geometry], bool]
 
@@ -45,6 +53,12 @@ Predicate = Callable[[Geometry, Geometry], bool]
 #: ``"no_scan"`` keeps pages touched only by full scans out of the cache so
 #: a table scan cannot evict the query working set
 ADMISSION_POLICIES = ("all", "no_scan")
+
+#: I/O scheduling policies: ``"fixed"`` uses the page-size coalescing gap and
+#: the constant ``prefetch_pages`` readahead; ``"cost_model"`` derives both
+#: from the data file's striping layout and the filesystem's cost model (see
+#: :mod:`repro.store.scheduler`)
+IO_POLICIES = ("fixed", "cost_model")
 
 
 @dataclass(frozen=True)
@@ -119,10 +133,15 @@ class SpatialDataStore:
         admission: str = "all",
         coalesce_gap: Optional[int] = None,
         prefetch_pages: int = 0,
+        io_policy: str = "fixed",
     ) -> None:
         if admission not in ADMISSION_POLICIES:
             raise ValueError(
                 f"unknown admission policy {admission!r} (use one of {ADMISSION_POLICIES})"
+            )
+        if io_policy not in IO_POLICIES:
+            raise ValueError(
+                f"unknown io policy {io_policy!r} (use one of {IO_POLICIES})"
             )
         if prefetch_pages < 0:
             raise ValueError("prefetch_pages must be >= 0")
@@ -133,8 +152,7 @@ class SpatialDataStore:
         self.index = index
         self.version = version
         self.admission = admission
-        #: byte gap between page runs still merged into one read range
-        self.coalesce_gap = manifest.page_size if coalesce_gap is None else coalesce_gap
+        self.io_policy = io_policy
         self.prefetch_pages = prefetch_pages
         self.paths = store_paths(name)
         self.stats = StoreStats()
@@ -142,6 +160,31 @@ class SpatialDataStore:
         self.stats.cache = self._cache.stats
         self._partition_of_page = manifest.partition_of_page()
         self._handle: Optional[FileHandle] = None
+        if io_policy == "cost_model":
+            # an explicit prefetch_pages caps the stripe-derived depth,
+            # mirroring how an explicit coalesce_gap overrides the derived
+            # gap; the cache-capacity guard keeps a fetch's readahead from
+            # evicting its own demand pages
+            self.scheduler = IOScheduler.cost_aware(
+                pages,
+                layout=fs.layout_of(self.paths["data"]),
+                cost_model=fs.cost_model,
+                gap=coalesce_gap,
+                prefetch_limit=prefetch_pages if prefetch_pages > 0 else None,
+                cache_capacity=cache_pages,
+            )
+        else:
+            self.scheduler = IOScheduler(
+                pages,
+                gap=manifest.page_size if coalesce_gap is None else coalesce_gap,
+                prefetch_pages=prefetch_pages,
+            )
+        self.engine = StoreEngine(self)
+
+    @property
+    def coalesce_gap(self) -> int:
+        """Byte gap between page runs still merged into one read range."""
+        return self.scheduler.gap
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -155,6 +198,7 @@ class SpatialDataStore:
         admission: str = "all",
         coalesce_gap: Optional[int] = None,
         prefetch_pages: int = 0,
+        io_policy: str = "fixed",
     ) -> "SpatialDataStore":
         """Open a persisted store: manifest + page directory + packed index.
 
@@ -164,6 +208,13 @@ class SpatialDataStore:
         *coalesce_gap* (max byte gap between candidate pages still merged
         into one read range; default one page size) and *prefetch_pages*
         (sequential readahead past the demand frontier, off by default).
+        With ``io_policy="cost_model"`` the gap and the readahead depth are
+        derived from the data file's striping layout and the filesystem's
+        cost model instead (see :data:`IO_POLICIES`); an explicit
+        *coalesce_gap* still overrides the derived gap, an explicit
+        *prefetch_pages* caps the derived readahead depth, and readahead is
+        always clamped so a fetch cannot evict its own demand pages from
+        the cache.
         """
         paths = store_paths(name)
         for key in ("data", "index", "manifest"):
@@ -215,6 +266,7 @@ class SpatialDataStore:
             admission=admission,
             coalesce_gap=coalesce_gap,
             prefetch_pages=prefetch_pages,
+            io_policy=io_policy,
         )
         store.stats.io_seconds = io_seconds
         return store
@@ -274,64 +326,44 @@ class SpatialDataStore:
         """Read the (sorted) *missing* pages with coalesced, gap-tolerant
         read ranges — the two-phase-I/O analogue of the serving path.
 
-        Adjacent or near pages (gap ≤ ``coalesce_gap`` bytes) are merged
-        into one range; every range of the call is issued as a single
-        :class:`ReadRequest`, so the cost model charges one run of requests
-        instead of one RPC per page.  When ``prefetch_pages`` is set, the
-        final run is extended past the demand frontier (pages in the file
-        are laid out back to back, so the extension is free of extra
-        latency — it only pays bandwidth).
+        The runs come from the store's :class:`~repro.store.scheduler.
+        IOScheduler`: adjacent or near pages merge into one range, the whole
+        schedule is issued as a single :class:`ReadRequest` (so the cost
+        model charges one run of requests instead of one RPC per page), and
+        readahead extends the final run past the demand frontier — by a
+        fixed ``prefetch_pages`` depth, or to the stripe boundary under the
+        cost-model policy (pages are laid out back to back, so the extension
+        pays bandwidth, never extra latency).
         """
         if self._handle is None:
             self._handle = self.fs.open(self.paths["data"])
             self.stats.io_seconds += self.fs.open_time()
 
-        runs: List[List[int]] = []
-        for pid in missing:
-            if runs:
-                prev = self.pages[runs[-1][-1]]
-                if self.pages[pid].offset - (prev.offset + prev.nbytes) <= self.coalesce_gap:
-                    runs[-1].append(pid)
-                    continue
-            runs.append([pid])
-
-        prefetched = 0
-        if admit and self.prefetch_pages > 0 and runs:
-            nxt = runs[-1][-1] + 1
-            while (
-                prefetched < self.prefetch_pages
-                and nxt < len(self.pages)
-                and nxt not in self._cache
-            ):
-                runs[-1].append(nxt)
-                prefetched += 1
-                nxt += 1
+        schedule = self.scheduler.schedule(
+            missing, is_cached=self._cache.__contains__, allow_prefetch=admit
+        )
 
         out: Dict[int, CachedPage] = {}
-        ranges: List[Tuple[int, int]] = []
-        for run in runs:
-            first, last = self.pages[run[0]], self.pages[run[-1]]
-            start = first.offset
-            length = last.offset + last.nbytes - start
-            buf = self._handle.pread(start, length)
-            if len(buf) != length:
+        for run in schedule.runs:
+            buf = self._handle.pread(run.offset, run.nbytes)
+            if len(buf) != run.nbytes:
                 raise StoreFormatError(
-                    f"pages {run[0]}..{run[-1]} of store {self.name!r} are "
-                    f"truncated: got {len(buf)} of {length} bytes"
+                    f"pages {run.page_ids[0]}..{run.page_ids[-1]} of store "
+                    f"{self.name!r} are truncated: got {len(buf)} of "
+                    f"{run.nbytes} bytes"
                 )
-            ranges.append((start, length))
-            for pid in run:
+            for pid in run.page_ids:
                 meta = self.pages[pid]
-                payload = buf[meta.offset - start : meta.offset - start + meta.nbytes]
+                payload = buf[meta.offset - run.offset : meta.offset - run.offset + meta.nbytes]
                 out[pid] = CachedPage(pid, payload, self.version, on_decode=self._on_decode)
 
         self.stats.io_seconds += self.fs.read_time(
-            self.paths["data"], [ReadRequest(0, tuple(ranges))]
+            self.paths["data"], [schedule.read_request()]
         )
-        self.stats.read_requests += len(ranges)
-        self.stats.bytes_read += sum(length for _, length in ranges)
+        self.stats.read_requests += len(schedule.runs)
+        self.stats.bytes_read += schedule.total_bytes
         self.stats.pages_read += len(missing)
-        self.stats.pages_prefetched += prefetched
+        self.stats.pages_prefetched += schedule.num_prefetched
         for pid, page in out.items():
             self._cache.put(pid, page, admit=admit)
         return out
@@ -354,91 +386,23 @@ class SpatialDataStore:
         return out
 
     # ------------------------------------------------------------------ #
-    # queries
+    # queries (all routed through the staged engine)
     # ------------------------------------------------------------------ #
-    def _candidate_slots(self, query_env: Envelope) -> Dict[int, List[int]]:
-        """Filter phase: candidate ``(page → slots)`` from the packed index."""
-        by_page: Dict[int, List[int]] = {}
-        for ref in self.index.query(query_env):
-            by_page.setdefault(ref.page_id, []).append(ref.slot)
-        return by_page
-
-    def _evaluate(
-        self,
-        by_page: Dict[int, List[int]],
-        pages: Dict[int, CachedPage],
-        refine_geom: Optional[Geometry],
-        rect_window: Optional[Envelope] = None,
-    ) -> List[QueryHit]:
-        """Refine phase over candidate slots: replicas are skipped on their
-        record id **before** any decode, and only surviving slots are ever
-        WKB/pickle-decoded (memoised per cached page).
-
-        When the window is a plain rectangle (*rect_window*), the envelope
-        column short-circuits the geometric refine: a slot MBR contained in
-        the window bounds its geometry inside the window too, so the exact
-        predicate is provably true without evaluating it.  (Only valid for
-        rectangles — an arbitrary window geometry does not cover its own
-        envelope.)
-        """
-        hits: List[QueryHit] = []
-        seen: set = set()
-        for page_id in sorted(by_page):
-            page = pages[page_id]
-            partition_id = self._partition_of_page.get(page_id, -1)
-            for slot in by_page[page_id]:
-                record_id = page.record_ids[slot]
-                if record_id in seen:
-                    continue
-                _, geom = page.record(slot)
-                if refine_geom is not None:
-                    slot_env = page.envelope(slot) if rect_window is not None else None
-                    contained = slot_env is not None and rect_window.contains(slot_env)
-                    if not contained and not predicates.intersects(refine_geom, geom):
-                        continue
-                seen.add(record_id)
-                hits.append(QueryHit(record_id, geom, partition_id, page_id))
-        hits.sort(key=lambda h: h.record_id)
-        return hits
-
     def range_query(
         self, window: Union[Envelope, Geometry], exact: bool = True
     ) -> List[QueryHit]:
         """Records intersecting *window*, de-duplicated across replicas.
 
-        Pruning is hierarchical: the manifest's partition MBRs give a cheap
-        early exit, then the packed index (whose leaf envelopes bound every
-        record, and therefore every page) selects the exact ``(page, slot)``
-        candidates — only pages that actually hold candidates are fetched
-        (in coalesced runs) and only candidate slots are decoded.  With
-        ``exact`` the geometric predicate is evaluated (refine phase);
-        otherwise the MBR test of the filter phase is the answer.
+        A single-window batch through the :class:`~repro.store.engine.
+        StoreEngine`: the planner prunes partitions (manifest) then selects
+        exact ``(page, slot)`` candidates (packed index), the I/O scheduler
+        fetches only the touched pages in coalesced runs, and the refine
+        executor decodes only candidate slots.  With ``exact`` the geometric
+        predicate is evaluated (refine phase); otherwise the MBR test of the
+        filter phase is the answer.
         """
         self.stats.queries += 1
-        if isinstance(window, Geometry):
-            query_env = window.envelope
-            query_geom: Optional[Geometry] = window
-        else:
-            query_env = window
-            query_geom = None
-        if query_env.is_empty:
-            return []
-
-        if not self.manifest.partitions_for(query_env):
-            return []
-
-        by_page = self._candidate_slots(query_env)
-        if not by_page:
-            return []
-        pages = self._get_pages(by_page)
-
-        if not exact:
-            return self._evaluate(by_page, pages, None)
-        if query_geom is None:
-            return self._evaluate(
-                by_page, pages, Polygon.from_envelope(query_env), rect_window=query_env
-            )
-        return self._evaluate(by_page, pages, query_geom)
+        return self.engine.execute([(None, window)], exact=exact)[0]
 
     def range_query_batch(
         self,
@@ -448,67 +412,21 @@ class SpatialDataStore:
         """Serve a batch of ``(query_id, window)`` queries in one pass.
 
         The batched front-end is where the filter-and-refine discipline pays
-        across probes, not just within one:
-
-        * windows are **Hilbert-ordered** before evaluation, so consecutive
-          queries touch neighbouring pages (page-cache locality when the
-          batch working set exceeds the cache);
-        * page touches are **deduped across the batch** — when the distinct
-          touched pages fit the cache they are fetched once, up front, in
-          coalesced runs spanning the whole batch, so ``read_requests``
-          stays far below the per-probe page touches (with a disabled or
-          undersized cache, fetching falls back to per-query coalesced
-          runs so memory stays bounded by one query's working set);
-        * decoded slots are memoised per page, so two probes hitting the
-          same record decode it once.
+        across probes, not just within one — the engine's plan stage orders
+        windows along the shared Hilbert visit order (page-cache locality),
+        dedupes page touches batch-wide, and bulk-fetches the working set in
+        coalesced runs when the cache can hold it (with a disabled or
+        undersized cache, fetching falls back to per-query coalesced runs so
+        memory stays bounded by one query's working set); the refine stage
+        memoises decoded slots per page, so two probes hitting the same
+        record decode it once.
 
         Returns one ``range_query``-identical hit list per query, in the
         input order.
         """
         queries = list(queries)
         self.stats.queries += len(queries)
-        results: List[List[QueryHit]] = [[] for _ in queries]
-
-        plans: List[Tuple[int, Envelope, Optional[Geometry], Dict[int, List[int]]]] = []
-        for i, (_, window) in enumerate(queries):
-            if isinstance(window, Geometry):
-                env: Envelope = window.envelope
-                geom: Optional[Geometry] = window
-            else:
-                env, geom = window, None
-            if env.is_empty or not self.manifest.partitions_for(env):
-                continue
-            by_page = self._candidate_slots(env)
-            if by_page:
-                plans.append((i, env, geom, by_page))
-        if not plans:
-            return results
-
-        order: Sequence[int] = range(len(plans))
-        if len(plans) > 1 and not self.extent.is_empty:
-            order = sort_by_hilbert([plan[1].centre for plan in plans], self.extent)
-
-        # bulk-fetch the batch working set only when the cache can actually
-        # hold it: with a disabled or undersized cache the per-query path
-        # below bounds memory to one query's working set (still coalesced
-        # per query) instead of pinning the whole batch
-        touched = sorted({pid for plan in plans for pid in plan[3]})
-        held: Dict[int, CachedPage] = {}
-        if 0 < len(touched) <= self._cache.capacity:
-            held = self._get_pages(touched)
-
-        for j in order:
-            i, env, geom, by_page = plans[j]
-            pages = held if held else self._get_pages(by_page)
-            refine: Optional[Geometry] = None
-            rect: Optional[Envelope] = None
-            if exact:
-                if geom is None:
-                    refine, rect = Polygon.from_envelope(env), env
-                else:
-                    refine = geom
-            results[i] = self._evaluate(by_page, pages, refine, rect_window=rect)
-        return results
+        return self.engine.execute(queries, exact=exact)
 
     def join(
         self,

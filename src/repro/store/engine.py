@@ -1,0 +1,227 @@
+"""The staged query engine: **plan → schedule → refine**, shared by every
+serving entry point.
+
+Before this module the filter-and-refine discipline (§4–§5 of the paper) was
+re-implemented ad hoc in four places — ``SpatialDataStore.range_query``,
+``range_query_batch``, ``join`` and the sharded server's local queries.  The
+engine makes each stage an explicit object with one owner:
+
+* :class:`QueryPlanner` — the **filter** phase: window → partition pruning
+  (manifest) → candidate ``(page, slot)`` sets (packed index), batch-wide
+  page-touch dedup and the shared space-filling-curve visit order
+  (:func:`repro.index.sfc.spatial_visit_order`).  Its output is a
+  :class:`QueryPlan`, pure metadata — no I/O has happened yet.
+* :class:`~repro.store.scheduler.IOScheduler` — the **I/O** stage: missing
+  pages → coalesced, gap-tolerant read runs with readahead sized either by
+  the fixed heuristics or by the ``repro.pfs`` striping layout / cost model
+  (see :mod:`repro.store.scheduler`).
+* :class:`RefineExecutor` — the **refine** phase: replica de-dup on the
+  envelope column *before* any decode, lazy per-slot WKB/pickle decode, and
+  the rectangular-window containment shortcut.
+
+:class:`StoreEngine` composes the three over one open store.  The sharded
+server serves each shard through that shard store's engine, so the single
+and distributed paths can never diverge; the async front-end
+(:mod:`repro.store.frontend`) multiplexes batches over the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..geometry import Envelope, Geometry, Polygon, predicates
+from ..index import STRtree, spatial_visit_order
+from .manifest import StoreManifest
+from .page import CachedPage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .datastore import QueryHit, SpatialDataStore
+
+__all__ = ["PlanEntry", "QueryPlan", "QueryPlanner", "RefineExecutor", "StoreEngine"]
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One query of a batch after the filter phase."""
+
+    #: index of the query in the input batch (results go back to this slot)
+    position: int
+    query_id: Any
+    #: the query window's envelope (the filter key)
+    env: Envelope
+    #: the exact window geometry, or ``None`` when the window is a rectangle
+    geom: Optional[Geometry]
+    #: candidate ``page -> slots`` from the packed index
+    by_page: Dict[int, List[int]]
+
+
+@dataclass
+class QueryPlan:
+    """A batch's filter-phase output: everything the I/O and refine stages
+    need, with no page fetched yet."""
+
+    entries: List[PlanEntry]
+    #: evaluation order over ``entries`` (space-filling-curve locality)
+    visit_order: List[int]
+    #: sorted distinct page ids the whole batch touches
+    touched_pages: List[int]
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.entries)
+
+
+class QueryPlanner:
+    """Filter phase: windows → :class:`QueryPlan`.
+
+    Pruning is hierarchical, exactly as the pre-engine entry points did it:
+    the manifest's partition data-MBRs give a cheap early exit, then the
+    packed index (whose leaf envelopes bound every record) selects the exact
+    ``(page, slot)`` candidates.  Queries pruned to nothing simply produce no
+    plan entry — their result slot stays an empty list.
+    """
+
+    def __init__(self, manifest: StoreManifest, index: STRtree) -> None:
+        self.manifest = manifest
+        self.index = index
+
+    # ------------------------------------------------------------------ #
+    def candidate_slots(self, query_env: Envelope) -> Dict[int, List[int]]:
+        """Candidate ``page -> slots`` for one window, from the packed index."""
+        by_page: Dict[int, List[int]] = {}
+        for ref in self.index.query(query_env):
+            by_page.setdefault(ref.page_id, []).append(ref.slot)
+        return by_page
+
+    def plan(
+        self, queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]]
+    ) -> QueryPlan:
+        """Plan a batch of ``(query_id, window)`` queries.
+
+        Windows may be plain envelopes or arbitrary geometries (the geometry
+        is kept for the refine stage; its envelope drives the filter).  The
+        visit order Hilbert-sorts the surviving windows by centre so
+        consecutive queries touch neighbouring pages.
+        """
+        entries: List[PlanEntry] = []
+        for position, (query_id, window) in enumerate(queries):
+            if isinstance(window, Geometry):
+                env: Envelope = window.envelope
+                geom: Optional[Geometry] = window
+            else:
+                env, geom = window, None
+            if env.is_empty or not self.manifest.partitions_for(env):
+                continue
+            by_page = self.candidate_slots(env)
+            if by_page:
+                entries.append(PlanEntry(position, query_id, env, geom, by_page))
+
+        visit_order = spatial_visit_order(
+            [entry.env.centre for entry in entries], self.manifest.extent
+        )
+        touched_pages = sorted({pid for entry in entries for pid in entry.by_page})
+        return QueryPlan(entries, visit_order, touched_pages)
+
+
+class RefineExecutor:
+    """Refine phase over one plan entry's candidate slots.
+
+    Replicas are skipped on their record id (envelope column) **before** any
+    decode, and only surviving slots are ever WKB/pickle-decoded (memoised
+    per cached page).  When the window is a plain rectangle, a slot MBR
+    contained in the window bounds its geometry inside the window too, so the
+    exact predicate is provably true without evaluating it — only valid for
+    rectangles, which is why :class:`PlanEntry` keeps non-rectangular window
+    geometries explicit.
+    """
+
+    def __init__(self, partition_of_page: Dict[int, int]) -> None:
+        self._partition_of_page = partition_of_page
+
+    def refine(
+        self,
+        entry: PlanEntry,
+        pages: Dict[int, CachedPage],
+        exact: bool,
+    ) -> List["QueryHit"]:
+        from .datastore import QueryHit
+
+        refine_geom: Optional[Geometry] = None
+        rect_window: Optional[Envelope] = None
+        if exact:
+            if entry.geom is None:
+                refine_geom, rect_window = Polygon.from_envelope(entry.env), entry.env
+            else:
+                refine_geom = entry.geom
+
+        hits: List[QueryHit] = []
+        seen: set = set()
+        for page_id in sorted(entry.by_page):
+            page = pages[page_id]
+            partition_id = self._partition_of_page.get(page_id, -1)
+            for slot in entry.by_page[page_id]:
+                record_id = page.record_ids[slot]
+                if record_id in seen:
+                    continue
+                _, geom = page.record(slot)
+                if refine_geom is not None:
+                    slot_env = page.envelope(slot) if rect_window is not None else None
+                    contained = slot_env is not None and rect_window.contains(slot_env)
+                    if not contained and not predicates.intersects(refine_geom, geom):
+                        continue
+                seen.add(record_id)
+                hits.append(QueryHit(record_id, geom, partition_id, page_id))
+        hits.sort(key=lambda h: h.record_id)
+        return hits
+
+
+class StoreEngine:
+    """Plan → schedule → refine over one open :class:`SpatialDataStore`.
+
+    The engine owns the planner and refine executor; the store keeps the
+    cache, the file handle and the statistics, and exposes them through
+    ``_get_pages`` (which routes misses through the store's
+    :class:`~repro.store.scheduler.IOScheduler`).  ``execute`` is the one
+    batch entry point every serving path funnels into.
+    """
+
+    def __init__(self, store: "SpatialDataStore") -> None:
+        self.store = store
+        self.planner = QueryPlanner(store.manifest, store.index)
+        self.executor = RefineExecutor(store._partition_of_page)
+
+    @property
+    def scheduler(self):
+        return self.store.scheduler
+
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
+        exact: bool = True,
+    ) -> List[List["QueryHit"]]:
+        """Serve a batch of ``(query_id, window)`` queries through the staged
+        pipeline; returns one hit list per query, in input order.
+
+        The batch working set is bulk-fetched up front only when the cache
+        can actually hold it; otherwise each query fetches its own pages
+        (still coalesced per query) so memory stays bounded by one query's
+        working set.
+        """
+        queries = list(queries)
+        results: List[List["QueryHit"]] = [[] for _ in queries]
+        plan = self.planner.plan(queries)
+        if not plan.entries:
+            return results
+
+        held: Dict[int, CachedPage] = {}
+        touched = plan.touched_pages
+        if 0 < len(touched) <= self.store._cache.capacity:
+            held = self.store._get_pages(touched)
+
+        for j in plan.visit_order:
+            entry = plan.entries[j]
+            pages = held if held else self.store._get_pages(entry.by_page)
+            results[entry.position] = self.executor.refine(entry, pages, exact)
+        return results

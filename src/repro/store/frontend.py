@@ -1,0 +1,291 @@
+"""Async multiplexing front-end over one :class:`DistributedStoreServer`.
+
+``DistributedStoreServer.range_query_batch`` is a strict collective: every
+batch pays route → scatter → local-query → gather end to end, and every rank
+idles while rank 0 routes the next batch or de-duplicates the previous one.
+:class:`AsyncStoreFrontend` keeps up to ``max_in_flight`` batches in flight
+at once by replacing the scatter/gather collectives with tagged point-to-
+point messages on the ``mpisim`` virtual clock:
+
+* rank 0 **routes ahead**: while the serving ranks work on batch *b*, it is
+  already planning and scattering batches *b+1 … b+W*;
+* serving ranks run a simple receive → local-query → send loop, so their
+  clocks advance through consecutive batches without ever waiting for
+  rank 0's gather of an earlier batch;
+* completion is windowed: once ``max_in_flight`` batches are outstanding,
+  rank 0 serves its own shard portion of the oldest batch, collects the
+  peers' rows (the virtual arrival times are usually already in the past —
+  that is the overlap) and de-duplicates.
+
+Because the buffered point-to-point layer stamps every message with its
+virtual arrival time, the resulting per-batch latencies and the aggregate
+makespan genuinely reflect phase overlap: with ``max_in_flight=1`` the
+front-end degenerates to sequential submission, and throughput grows with
+the window until rank 0's route+gather work or the slowest serving rank
+saturates.  Results are bit-identical to sequential
+``range_query_batch`` calls — the front-end reuses the server's router, the
+per-shard store engines and the record-id de-dup.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import Envelope
+from .sharded import DistributedHit, DistributedStoreServer
+
+__all__ = ["AsyncStoreFrontend", "BatchMetrics", "FrontendResult"]
+
+#: tag namespace for the front-end's point-to-point traffic (two tags per
+#: batch: plan scatter and result gather)
+_TAG_BASE = 0x4153_0000
+
+
+@dataclass(frozen=True)
+class BatchMetrics:
+    """Virtual-clock timeline of one batch on rank 0."""
+
+    batch_id: int
+    num_queries: int
+    num_hits: int
+    #: rank-0 virtual time the batch's route phase began
+    submitted: float
+    #: rank-0 virtual time its gather/de-dup finished
+    completed: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.submitted
+
+
+@dataclass
+class FrontendResult:
+    """Rank-0 outcome of one :meth:`AsyncStoreFrontend.serve` call."""
+
+    #: one de-duplicated hit list per submitted batch, in submission order
+    batches: List[List[DistributedHit]]
+    metrics: List[BatchMetrics]
+    #: virtual makespan of the whole call (max rank end - min rank start)
+    makespan: float
+    max_in_flight: int
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(m.num_queries for m in self.metrics)
+
+    @property
+    def batches_per_second(self) -> float:
+        return self.num_batches / self.makespan if self.makespan > 0 else float("inf")
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.total_queries / self.makespan if self.makespan > 0 else float("inf")
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.metrics:
+            return 0.0
+        return sum(m.latency for m in self.metrics) / len(self.metrics)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "num_batches": float(self.num_batches),
+            "total_queries": float(self.total_queries),
+            "makespan_seconds": self.makespan,
+            "batches_per_second": self.batches_per_second,
+            "queries_per_second": self.queries_per_second,
+            "mean_latency_seconds": self.mean_latency,
+            "max_in_flight": float(self.max_in_flight),
+        }
+
+
+class AsyncStoreFrontend:
+    """Multiplexes many in-flight query batches over one server (collective).
+
+    Every rank of the server's communicator must call :meth:`serve`; rank 0
+    supplies the batches and receives a :class:`FrontendResult`, other ranks
+    pass ``None`` and receive ``None``.  ``max_in_flight`` bounds how many
+    batches may be routed but not yet gathered; ``1`` reproduces sequential
+    submission, larger windows overlap rank 0's route/gather phases with the
+    serving ranks' local queries.  Phase time is accumulated into the
+    server's ``phases`` breakdown exactly like the collective path, so
+    ``server.phase_breakdown()`` covers async-served traffic too.
+    """
+
+    def __init__(self, server: DistributedStoreServer, max_in_flight: int = 4) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.server = server
+        self.max_in_flight = max_in_flight
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _plan_tag(batch_id: int) -> int:
+        return _TAG_BASE + 2 * batch_id
+
+    @staticmethod
+    def _data_tag(batch_id: int) -> int:
+        return _TAG_BASE + 2 * batch_id + 1
+
+    def _serve_local(self, entries: List[Tuple[int, Any, Envelope]], exact: bool):
+        """One rank's local-query phase: through the shard stores' engines,
+        simulated store I/O charged to the virtual clock and the phase
+        accumulated in the server's breakdown."""
+        server = self.server
+        clock = server.comm.clock
+        since = clock.now
+        io_before = server._store_io_seconds()
+        with clock.compute(category="local_query"):
+            rows = server._local_query(entries, exact)
+        clock.advance(server._store_io_seconds() - io_before, category="io")
+        server._charge_phase("local_query", since)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        batches: Optional[Sequence[Sequence[Tuple[Any, Envelope]]]],
+        exact: bool = True,
+    ) -> Optional[FrontendResult]:
+        """Serve many ``[(query_id, window), ...]`` batches, pipelined.
+
+        Collective: rank 0 supplies *batches* (each one a
+        ``range_query_batch``-shaped list) and gets the per-batch hits plus
+        the virtual-clock metrics; other ranks pass ``None``.
+        """
+        comm = self.server.comm
+        clock = comm.clock
+        if comm.rank == 0 and batches is None:
+            raise ValueError("rank 0 must supply the batch sequence")
+        num_batches = comm.bcast(len(batches) if comm.rank == 0 else None, root=0)
+        start = clock.now
+
+        result: Optional[FrontendResult] = None
+        if comm.rank == 0:
+            result = self._run_root(list(batches), num_batches, exact, start)
+        else:
+            for b in range(num_batches):
+                t = clock.now
+                entries = comm.recv(source=0, tag=self._plan_tag(b))
+                t = self.server._charge_phase("scatter", t)
+                rows = self._serve_local(entries, exact)
+                t = clock.now
+                comm.send(rows, dest=0, tag=self._data_tag(b))
+                self.server._charge_phase("gather", t)
+
+        end = clock.now
+        spans = comm.allgather((start, end))
+        if comm.rank == 0 and result is not None:
+            result.makespan = max(e for _, e in spans) - min(s for s, _ in spans)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _run_root(
+        self,
+        batches: List[Sequence[Tuple[Any, Envelope]]],
+        num_batches: int,
+        exact: bool,
+        start: float,
+    ) -> FrontendResult:
+        comm = self.server.comm
+        clock = comm.clock
+        server = self.server
+
+        results: List[List[DistributedHit]] = [[] for _ in range(num_batches)]
+        metrics: List[Optional[BatchMetrics]] = [None] * num_batches
+        #: (batch_id, rank-0 plan entries, submit time) routed but not gathered
+        in_flight: Deque[Tuple[int, List[Tuple[int, Any, Envelope]], float]] = deque()
+
+        def complete_oldest() -> None:
+            batch_id, own_entries, submitted = in_flight.popleft()
+            rows = self._serve_local(own_entries, exact)
+            t = clock.now
+            for rank in range(1, comm.size):
+                rows.extend(comm.recv(source=rank, tag=self._data_tag(batch_id)))
+            with clock.compute(category="gather"):
+                hits = server._dedup(rows)
+            server._charge_phase("gather", t)
+            results[batch_id] = hits
+            metrics[batch_id] = BatchMetrics(
+                batch_id=batch_id,
+                num_queries=len(batches[batch_id]),
+                num_hits=len(hits),
+                submitted=submitted,
+                completed=clock.now,
+            )
+
+        for b in range(num_batches):
+            while len(in_flight) >= self.max_in_flight:
+                complete_oldest()
+            submitted = clock.now
+            queries = list(batches[b])
+            server.queries_served += len(queries)
+            with clock.compute(category="route"):
+                plan = server.router.plan(queries, server.assignment, comm.size)
+            t = server._charge_phase("route", submitted)
+            for rank in range(1, comm.size):
+                comm.send(plan[rank], dest=rank, tag=self._plan_tag(b))
+            server._charge_phase("scatter", t)
+            in_flight.append((b, plan[0], submitted))
+        while in_flight:
+            complete_oldest()
+
+        return FrontendResult(
+            batches=results,
+            metrics=[m for m in metrics if m is not None],
+            makespan=clock.now - start,  # refined with the allgathered spans
+            max_in_flight=self.max_in_flight,
+        )
+
+    # ------------------------------------------------------------------ #
+    def serve_sequential(
+        self,
+        batches: Optional[Sequence[Sequence[Tuple[Any, Envelope]]]],
+        exact: bool = True,
+    ) -> Optional[FrontendResult]:
+        """The comparison baseline: the same batches submitted one by one
+        through the server's strict collective path (collective; identical
+        results, no overlap).  Metrics use the same definitions as
+        :meth:`serve`, so the two are directly comparable.
+        """
+        comm = self.server.comm
+        clock = comm.clock
+        if comm.rank == 0 and batches is None:
+            raise ValueError("rank 0 must supply the batch sequence")
+        num_batches = comm.bcast(len(batches) if comm.rank == 0 else None, root=0)
+        start = clock.now
+
+        results: List[List[DistributedHit]] = []
+        metrics: List[BatchMetrics] = []
+        for b in range(num_batches):
+            submitted = clock.now
+            batch = list(batches[b]) if comm.rank == 0 else None
+            hits = self.server.range_query_batch(batch, exact=exact)
+            if comm.rank == 0:
+                results.append(hits or [])
+                metrics.append(
+                    BatchMetrics(
+                        batch_id=b,
+                        num_queries=len(batch or []),
+                        num_hits=len(hits or []),
+                        submitted=submitted,
+                        completed=clock.now,
+                    )
+                )
+
+        end = clock.now
+        spans = comm.allgather((start, end))
+        if comm.rank != 0:
+            return None
+        return FrontendResult(
+            batches=results,
+            metrics=metrics,
+            makespan=max(e for _, e in spans) - min(s for s, _ in spans),
+            max_in_flight=1,
+        )

@@ -1,0 +1,244 @@
+"""Cost-model-aware I/O scheduling — the *schedule* stage of the store engine.
+
+The planner (:mod:`repro.store.engine`) decides **which** pages a query batch
+must touch; this module decides **how** the missing ones reach memory.  An
+:class:`IOScheduler` turns a sorted list of missing page ids into coalesced,
+gap-tolerant :class:`ScheduledRun`\\ s — each run one contiguous byte range,
+the whole schedule one :class:`~repro.pfs.ReadRequest` — and sizes the
+sequential readahead past the demand frontier.
+
+Two policies choose the coalescing gap and the readahead depth:
+
+* **fixed** (the pre-engine heuristics): the gap is one page size unless the
+  caller overrides it, and readahead extends the final run by a constant
+  ``prefetch_pages``.
+* **cost-model** (:func:`IOScheduler.cost_aware`): the knobs are derived from
+  the file's :class:`~repro.pfs.StripeLayout` and
+  :class:`~repro.pfs.IOCostModel` — the paper's central observation that I/O
+  strategy must follow the striping configuration, applied to serving.  The
+  gap is the *break-even gap* (:func:`cost_model_gap`): wasted bytes between
+  two runs are cheaper to read than a second RPC while
+  ``gap / ost_bandwidth < ost_latency + request_overhead``.  Readahead
+  extends the final run **to the stripe boundary** ("parallel file read
+  access will be stripe aligned", §4.1): the extension stays on the OST the
+  run already pays latency on, so it costs bandwidth only.
+
+Both policies share the same hard safety rules: runs never read past the last
+page (the page directory that follows the payloads is never touched),
+readahead never duplicates a cached page, and a negative gap disables
+merging entirely (one request per page — the measurement baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..pfs import IOCostModel, ReadRequest, StripeLayout
+from .format import PageMeta
+
+__all__ = ["IOSchedule", "IOScheduler", "ScheduledRun", "cost_model_gap"]
+
+
+def cost_model_gap(layout: StripeLayout, cost_model: IOCostModel) -> int:
+    """Break-even coalescing gap for one file: merge two runs whenever the
+    bytes between them cost less to read than issuing another request.
+
+    A separate run pays one more OST RPC (``ost_latency``) plus one more
+    client software overhead (``request_overhead``); bridging the gap pays
+    ``gap / ost_bandwidth`` of wasted bandwidth.  The break-even point is
+    capped at one stripe so a merged run never drags an extra OST in purely
+    to avoid a request.
+    """
+    break_even = (
+        cost_model.ost_latency + cost_model.request_overhead
+    ) * cost_model.ost_bandwidth
+    return int(min(break_even, layout.stripe_size))
+
+
+@dataclass(frozen=True)
+class ScheduledRun:
+    """One contiguous read range covering a run of pages.
+
+    The last ``num_prefetched`` entries of ``page_ids`` are readahead pages
+    appended past the demand frontier; the rest are demand-fetched misses.
+    """
+
+    page_ids: Tuple[int, ...]
+    offset: int
+    nbytes: int
+    num_prefetched: int = 0
+
+    @property
+    def demand_ids(self) -> Tuple[int, ...]:
+        count = len(self.page_ids) - self.num_prefetched
+        return self.page_ids[:count]
+
+
+@dataclass
+class IOSchedule:
+    """The scheduler's output: the coalesced runs of one fetch."""
+
+    runs: List[ScheduledRun]
+
+    @property
+    def ranges(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple((run.offset, run.nbytes) for run in self.runs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(run.nbytes for run in self.runs)
+
+    @property
+    def num_prefetched(self) -> int:
+        return sum(run.num_prefetched for run in self.runs)
+
+    def read_request(self, rank: int = 0) -> ReadRequest:
+        """The whole schedule as one (multi-range) filesystem request, so the
+        cost model charges a run of requests instead of one RPC per page.
+        ``read_request().nbytes`` equals :attr:`total_bytes` by construction —
+        the invariant the accounting tests pin."""
+        return ReadRequest(rank, self.ranges)
+
+
+class IOScheduler:
+    """Schedules page fetches for one store container.
+
+    Construct directly for the fixed policy, or via :func:`cost_aware` to
+    derive the knobs from a striping layout and cost model.  ``gap`` is the
+    maximum byte distance between two page runs still merged into one read
+    range (negative disables merging); ``prefetch_pages`` is the fixed
+    readahead depth (ignored under the cost-model policy, which sizes
+    readahead from the stripe boundary instead, clamped to
+    ``prefetch_limit`` pages and to the ``cache_capacity`` overflow guard —
+    demand and readahead pages enter the cache together, so readahead past
+    ``cache_capacity - demand`` would evict the very pages the fetch was
+    issued for).
+    """
+
+    def __init__(
+        self,
+        pages: Sequence[PageMeta],
+        gap: int,
+        prefetch_pages: int = 0,
+        layout: Optional[StripeLayout] = None,
+        cost_model: Optional[IOCostModel] = None,
+        prefetch_limit: Optional[int] = None,
+        cache_capacity: Optional[int] = None,
+    ) -> None:
+        if prefetch_pages < 0:
+            raise ValueError("prefetch_pages must be >= 0")
+        self.pages = pages
+        self.gap = gap
+        self.prefetch_pages = prefetch_pages
+        self.layout = layout
+        self.cost_model = cost_model
+        self.prefetch_limit = prefetch_limit
+        self.cache_capacity = cache_capacity
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def cost_aware(
+        cls,
+        pages: Sequence[PageMeta],
+        layout: StripeLayout,
+        cost_model: IOCostModel,
+        gap: Optional[int] = None,
+        prefetch_limit: Optional[int] = None,
+        cache_capacity: Optional[int] = None,
+    ) -> "IOScheduler":
+        """Scheduler with knobs derived from the striping configuration: the
+        break-even gap unless *gap* overrides it, and stripe-aligned
+        readahead clamped to *prefetch_limit* pages and the
+        *cache_capacity* overflow guard."""
+        return cls(
+            pages,
+            gap=cost_model_gap(layout, cost_model) if gap is None else gap,
+            layout=layout,
+            cost_model=cost_model,
+            prefetch_limit=prefetch_limit,
+            cache_capacity=cache_capacity,
+        )
+
+    @property
+    def is_cost_aware(self) -> bool:
+        return self.layout is not None and self.cost_model is not None
+
+    # ------------------------------------------------------------------ #
+    def _readahead_budget(
+        self, frontier_end: int, num_demand: int
+    ) -> Tuple[int, Optional[int]]:
+        """``(max_pages, byte_ceiling)`` for readahead past *frontier_end*.
+
+        Fixed policy: a constant page count, no byte ceiling.  Cost-model
+        policy: as many pages as fit between the frontier and the end of the
+        stripe holding it (zero when the frontier sits exactly on a stripe
+        boundary — the run is already aligned), clamped to
+        ``prefetch_limit`` and to ``cache_capacity`` **minus the fetch's own
+        demand pages** — demand and readahead enter the cache together, so a
+        budget that ignored the demand count would let the readahead evict
+        the very pages the fetch was issued for.
+        """
+        if not self.is_cost_aware:
+            return self.prefetch_pages, None
+        stripe = self.layout.stripe_size
+        stripe_end = ((frontier_end + stripe - 1) // stripe) * stripe
+        limit = len(self.pages) if self.prefetch_limit is None else self.prefetch_limit
+        if self.cache_capacity is not None:
+            limit = min(limit, self.cache_capacity - num_demand)
+        return max(0, limit), stripe_end
+
+    def schedule(
+        self,
+        missing: Sequence[int],
+        is_cached: Callable[[int], bool] = lambda pid: False,
+        allow_prefetch: bool = True,
+    ) -> IOSchedule:
+        """Coalesce the (sorted) *missing* page ids into gap-tolerant runs
+        and extend the final run with readahead.
+
+        Readahead stops at the container boundary (the last page — it can
+        never read into the page directory), at the first already-cached
+        page, and at the policy's budget.  ``allow_prefetch=False`` (scans
+        under the ``no_scan`` admission policy) disables it outright.
+        """
+        runs: List[List[int]] = []
+        for pid in missing:
+            if runs:
+                prev = self.pages[runs[-1][-1]]
+                if self.pages[pid].offset - (prev.offset + prev.nbytes) <= self.gap:
+                    runs[-1].append(pid)
+                    continue
+            runs.append([pid])
+
+        prefetched = 0
+        if allow_prefetch and runs:
+            frontier = self.pages[runs[-1][-1]]
+            max_pages, byte_ceiling = self._readahead_budget(
+                frontier.offset + frontier.nbytes, len(missing)
+            )
+            nxt = runs[-1][-1] + 1
+            while (
+                prefetched < max_pages
+                and nxt < len(self.pages)
+                and not is_cached(nxt)
+            ):
+                meta = self.pages[nxt]
+                if byte_ceiling is not None and meta.offset + meta.nbytes > byte_ceiling:
+                    break
+                runs[-1].append(nxt)
+                prefetched += 1
+                nxt += 1
+
+        scheduled: List[ScheduledRun] = []
+        for i, run in enumerate(runs):
+            first, last = self.pages[run[0]], self.pages[run[-1]]
+            scheduled.append(
+                ScheduledRun(
+                    page_ids=tuple(run),
+                    offset=first.offset,
+                    nbytes=last.offset + last.nbytes - first.offset,
+                    num_prefetched=prefetched if i == len(runs) - 1 else 0,
+                )
+            )
+        return IOSchedule(scheduled)

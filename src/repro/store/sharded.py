@@ -29,7 +29,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..geometry import Envelope, Geometry, Polygon, predicates
+from ..geometry import Envelope, Geometry, predicates
 from ..mpisim import Communicator
 from ..pfs import ReadRequest, SimulatedFilesystem
 from .datastore import QueryHit, SpatialDataStore
@@ -306,6 +306,7 @@ class DistributedStoreServer:
         admission: str = "all",
         coalesce_gap: Optional[int] = None,
         prefetch_pages: int = 0,
+        io_policy: str = "fixed",
     ) -> None:
         self.comm = comm
         self.fs = fs
@@ -329,6 +330,7 @@ class DistributedStoreServer:
                     admission=admission,
                     coalesce_gap=coalesce_gap,
                     prefetch_pages=prefetch_pages,
+                    io_policy=io_policy,
                 )
             self.comm.clock.advance(self.stores[sid].stats.io_seconds, category="io")
 
@@ -343,6 +345,7 @@ class DistributedStoreServer:
         admission: str = "all",
         coalesce_gap: Optional[int] = None,
         prefetch_pages: int = 0,
+        io_policy: str = "fixed",
     ) -> "DistributedStoreServer":
         """Collectively open a sharded store: rank 0 reads ``shards.json``
         and broadcasts it, then every rank opens its assigned shards."""
@@ -370,6 +373,7 @@ class DistributedStoreServer:
             admission=admission,
             coalesce_gap=coalesce_gap,
             prefetch_pages=prefetch_pages,
+            io_policy=io_policy,
         )
 
     def close(self) -> None:
@@ -455,14 +459,17 @@ class DistributedStoreServer:
     # local serving
     # ------------------------------------------------------------------ #
     def _shard_filter_batch(
-        self, sid: int, entries: List[Tuple[Any, ...]], action: str
+        self, sid: int, entries: List[Tuple[Any, ...]], action: str, exact: bool = False
     ) -> List[Tuple[Tuple[Any, ...], List[QueryHit]]]:
-        """Guarded batched filter pass of one shard over plan *entries*
+        """Guarded batched serving pass of one shard over plan *entries*
         (window last in each tuple).  Entries outside the shard extent are
-        dropped; the rest are served in one ``range_query_batch`` pass
-        (Hilbert-ordered, page touches deduped, reads coalesced).  Only the
-        store access runs under the shard guard, so refine work done by the
-        caller is never misreported as corruption."""
+        dropped; the rest are served in one ``range_query_batch`` pass —
+        i.e. through the shard store's staged engine (shared Hilbert visit
+        order, page touches deduped, reads coalesced, lazy refine).  With
+        ``exact`` the engine's refine stage evaluates the geometric
+        predicate too (range queries); joins keep ``exact=False`` and refine
+        with the user predicate outside the shard guard, so a buggy
+        predicate is never misreported as corruption."""
         shard = self.manifest.shards[sid]
         if shard.extent.is_empty:
             return []
@@ -471,7 +478,7 @@ class DistributedStoreServer:
             return []
         with self._shard_guard(shard, action):
             batches = self.stores[sid].range_query_batch(
-                [(None, e[-1]) for e in kept], exact=False
+                [(None, e[-1]) for e in kept], exact=exact
             )
         return list(zip(kept, batches))
 
@@ -480,13 +487,10 @@ class DistributedStoreServer:
     ) -> List[Tuple[int, Any, int, int, int, int, Geometry]]:
         out: List[Tuple[int, Any, int, int, int, int, Geometry]] = []
         for sid in self.my_shards:
-            for (idx, qid, window), candidates in self._shard_filter_batch(
-                sid, list(plan), "query"
+            for (idx, qid, window), hits in self._shard_filter_batch(
+                sid, list(plan), "query", exact=exact
             ):
-                refine = Polygon.from_envelope(window) if exact else None
-                for hit in candidates:
-                    if refine is not None and not predicates.intersects(refine, hit.geometry):
-                        continue
+                for hit in hits:
                     out.append(
                         (idx, qid, hit.record_id, sid, hit.partition_id,
                          hit.page_id, hit.geometry)

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..geometry import Envelope, Geometry
-from ..index import STRtree, UniformGrid, sort_by_hilbert, sort_by_zorder
+from ..index import STRtree, UniformGrid, spatial_visit_order
 from ..pfs import ReadRequest, SimulatedFilesystem
 from .format import (
     ENVELOPE_ENTRY,
@@ -71,15 +71,12 @@ class _Rec:
 
 
 def _order_indices(recs: Sequence["_Rec"], extent: Envelope, order: str) -> List[int]:
-    """Spatial ordering of a partition's records (by envelope centre)."""
-    if order == "none" or len(recs) < 2:
-        return list(range(len(recs)))
-    centres = [r.envelope.centre for r in recs]
-    if order == "hilbert":
-        return sort_by_hilbert(centres, extent)
-    if order == "zorder":
-        return sort_by_zorder(centres, extent)
-    raise ValueError(f"unknown record order {order!r} (use hilbert, zorder or none)")
+    """Spatial ordering of a partition's records (by envelope centre) — the
+    same shared visit-order rule the query engine applies to batch windows."""
+    try:
+        return spatial_visit_order([r.envelope.centre for r in recs], extent, curve=order)
+    except ValueError:
+        raise ValueError(f"unknown record order {order!r} (use hilbert, zorder or none)")
 
 
 @dataclass

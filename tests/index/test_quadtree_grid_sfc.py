@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.geometry import Envelope
 from repro.index import (
+    VISIT_ORDER_CURVES,
     Quadtree,
     UniformGrid,
     block_mapping,
@@ -16,6 +17,7 @@ from repro.index import (
     round_robin_mapping,
     sort_by_hilbert,
     sort_by_zorder,
+    spatial_visit_order,
     zorder_decode,
     zorder_encode,
 )
@@ -194,3 +196,62 @@ class TestSpaceFillingCurves:
                 ) / (len(order) - 1)
 
             assert avg_step(idx) < avg_step(list(range(200))) * 0.65
+
+
+class TestSpatialVisitOrder:
+    """`spatial_visit_order` is the one shared ordering rule: the bulk
+    loader's record packing, the query engine's batch ordering and the
+    sharded writer's per-shard ordering all route through it, so these tests
+    pin its output to the raw sorting helpers it replaced."""
+
+    def _points(self, n=150, seed=7):
+        rng = random.Random(seed)
+        return [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(n)]
+
+    def test_pins_hilbert_order(self):
+        pts = self._points()
+        extent = Envelope(0, 0, 100, 100)
+        assert spatial_visit_order(pts, extent) == sort_by_hilbert(pts, extent)
+        assert spatial_visit_order(pts, extent, curve="hilbert", order=12) == \
+            sort_by_hilbert(pts, extent, order=12)
+
+    def test_pins_zorder_order(self):
+        pts = self._points(seed=11)
+        extent = Envelope(0, 0, 100, 100)
+        assert spatial_visit_order(pts, extent, curve="zorder") == \
+            sort_by_zorder(pts, extent)
+
+    def test_degenerate_inputs_keep_input_order(self):
+        extent = Envelope(0, 0, 100, 100)
+        assert spatial_visit_order([], extent) == []
+        assert spatial_visit_order([(1.0, 2.0)], extent) == [0]
+        pts = self._points(n=5)
+        assert spatial_visit_order(pts, Envelope.empty()) == [0, 1, 2, 3, 4]
+        assert spatial_visit_order(pts, extent, curve="none") == [0, 1, 2, 3, 4]
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(ValueError, match="visit-order curve"):
+            spatial_visit_order(self._points(n=3), Envelope(0, 0, 1, 1), curve="peano")
+        assert set(VISIT_ORDER_CURVES) == {"hilbert", "zorder", "none"}
+
+    def test_writer_ordering_routes_through_the_helper(self):
+        # the bulk loader's per-partition record order must be exactly the
+        # shared helper's order over the records' envelope centres
+        from repro.store.writer import _Rec, _order_indices
+
+        from repro.geometry import Point
+
+        rng = random.Random(23)
+        recs = [
+            _Rec(i, Point(rng.uniform(0, 50), rng.uniform(0, 50)))
+            for i in range(60)
+        ]
+        extent = Envelope(0, 0, 50, 50)
+        centres = [r.envelope.centre for r in recs]
+        assert _order_indices(recs, extent, "hilbert") == \
+            sort_by_hilbert(centres, extent)
+        assert _order_indices(recs, extent, "zorder") == \
+            sort_by_zorder(centres, extent)
+        assert _order_indices(recs, extent, "none") == list(range(60))
+        with pytest.raises(ValueError, match="unknown record order"):
+            _order_indices(recs, extent, "spiral")

@@ -172,3 +172,93 @@ class TestRomioAggregatorRule:
         readers = romio_lustre_readers(nodes, stripes)
         assert 1 <= readers <= nodes
         assert readers <= max(stripes, 1) or readers == nodes
+
+
+class TestCostModelEdgeCases:
+    """Edge cases the store's I/O scheduler now leans on (PR 4): the cost
+    model must stay well-defined for zero-byte requests, a single OST, and
+    aggregator sets larger than the request set, and `ReadRequest.nbytes`
+    must agree with the coalesced runs the store emits."""
+
+    def test_zero_byte_request_is_cheap_and_finite(self):
+        model = IOCostModel()
+        layout = StripeLayout(1 << 20, 4)
+        t = model.parallel_read_time(layout, [ReadRequest(0, ((0, 0),))])
+        assert 0.0 <= t < 1e-3  # no OST touched; latency-only terms
+        # an empty range tuple behaves the same
+        t2 = model.parallel_read_time(layout, [ReadRequest(0, ())])
+        assert 0.0 <= t2 < 1e-3
+
+    def test_zero_byte_request_properties(self):
+        req = ReadRequest(3, ((128, 0),))
+        assert req.nbytes == 0
+        assert req.num_requests == 1
+        assert ReadRequest(0, ()).nbytes == 0
+
+    def test_single_ost_serialises_all_bytes(self):
+        model = IOCostModel()
+        one = StripeLayout(1 << 20, 1)
+        many = StripeLayout(1 << 20, 32)
+        reqs = [ReadRequest(r, ((r * (8 << 20), 8 << 20),)) for r in range(8)]
+        assert model.parallel_read_time(one, reqs) > model.parallel_read_time(many, reqs)
+        # with one OST every chunk lands on OST 0 regardless of offset
+        loads = one.ost_loads([(0, 4 << 20), (64 << 20, 4 << 20)])
+        assert set(loads) == {0}
+        assert loads[0].nbytes == 8 << 20
+
+    def test_more_aggregators_than_ranks(self):
+        # a reader set larger than the actual request set must behave like
+        # the unrestricted case: extra aggregators contribute no load
+        model = IOCostModel()
+        layout = StripeLayout(1 << 20, 8)
+        reqs = [ReadRequest(r, ((r * (4 << 20), 4 << 20),)) for r in range(4)]
+        unrestricted = model.parallel_read_time(layout, reqs)
+        oversubscribed = model.parallel_read_time(layout, reqs, readers=list(range(64)))
+        assert oversubscribed == unrestricted
+
+    def test_redistribution_with_excess_aggregators(self):
+        model = IOCostModel()
+        nranks = 32
+        nodes = model.cluster.num_nodes(nranks)
+        # more aggregators than nodes clamps to the node count
+        assert model.redistribution_time(1 << 30, nranks, num_aggregators=10_000) == \
+            model.redistribution_time(1 << 30, nranks, num_aggregators=nodes)
+
+    def test_readrequest_nbytes_matches_store_schedules(self, tmp_path):
+        # end to end: every ReadRequest the serving path emits must report
+        # nbytes equal to the sum of its coalesced ranges, and the store's
+        # bytes_read must equal the bytes those requests claim
+        from repro.datasets import SyntheticConfig, generate_dataset, random_envelopes
+        from repro.core.reader import VectorIO
+        from repro.pfs import LustreFilesystem
+        from repro.store import SpatialDataStore, bulk_load
+
+        fs = LustreFilesystem(tmp_path / "pfs", ost_count=4)
+        path = generate_dataset(fs, "lakes", scale=0.1,
+                                config=SyntheticConfig(seed=8))
+        geoms = VectorIO(fs).sequential_read(path).geometries
+        bulk_load(fs, "edge_lakes", geoms, num_partitions=8, page_size=1024)
+
+        store = SpatialDataStore.open(fs, "edge_lakes", cache_pages=256)
+        captured = []
+        real_read_time = fs.read_time
+
+        def spy(p, requests, readers=None):
+            captured.extend(requests)
+            return real_read_time(p, requests, readers)
+
+        fs.read_time = spy
+        try:
+            before = store.stats.bytes_read
+            for env in random_envelopes(6, extent=store.extent,
+                                        max_size_fraction=0.3, seed=12):
+                store.range_query(env, exact=False)
+            delta = store.stats.bytes_read - before
+        finally:
+            fs.read_time = real_read_time
+
+        assert captured
+        for req in captured:
+            assert req.nbytes == sum(n for _, n in req.ranges)
+            assert req.num_requests == len(req.ranges)
+        assert delta == sum(req.nbytes for req in captured)

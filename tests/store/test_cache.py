@@ -169,6 +169,52 @@ class TestShardedServingCacheStats:
         for key in ("pages_read", "cache_hits", "cache_misses"):
             assert agg[key] == sum(v[1].get(key, 0.0) for v in res.values)
 
+    def test_read_requests_and_prefetch_counters_aggregate_once(self, tmp_path):
+        # the PR 4 audit counters: coalesced read ranges and readahead pages
+        # must aggregate exactly like the older counters — one snapshot per
+        # rank, idempotent across calls, total == sum of per-rank snapshots
+        fs, queries = self._build(tmp_path)
+
+        def prog(comm):
+            with DistributedStoreServer.open(
+                comm, fs, "stats", cache_pages=64, prefetch_pages=2
+            ) as server:
+                batch = queries if comm.rank == 0 else None
+                server.range_query_batch(batch)
+                first = server.aggregate_stats()
+                second = server.aggregate_stats()
+                local = {}
+                for store in server.stores.values():
+                    for key in ("read_requests", "pages_prefetched", "bytes_read"):
+                        local[key] = local.get(key, 0.0) + store.stats.as_dict()[key]
+                return first, second, local
+
+        res = mpisim.run_spmd(prog, 2)
+        first, second, _ = res.values[0]
+        agg = first["aggregate"]
+        assert second["aggregate"] == agg
+        for key in ("read_requests", "pages_prefetched", "bytes_read"):
+            assert agg[key] == sum(snap.get(key, 0.0) for snap in first["per_rank"])
+            assert agg[key] == sum(v[2][key] for v in res.values)
+        # coalescing means the filesystem saw fewer ranges than pages
+        assert 0 < agg["read_requests"] <= agg["pages_read"]
+
+    def test_prefetched_pages_never_double_count_as_demand(self, tmp_path):
+        # a page read ahead of demand is not a demand read: pages_read must
+        # keep equalling cache misses, with the readahead counted separately
+        fs, queries = self._build(tmp_path)
+
+        def prog(comm):
+            with DistributedStoreServer.open(
+                comm, fs, "stats", cache_pages=256, prefetch_pages=4
+            ) as server:
+                server.range_query_batch(queries if comm.rank == 0 else None)
+                return server.aggregate_stats()["aggregate"]
+
+        agg = mpisim.run_spmd(prog, 2).values[0]
+        assert agg["pages_read"] == agg["cache_misses"]
+        assert agg["pages_prefetched"] >= 0
+
     def test_warm_serving_reads_no_new_pages(self, tmp_path):
         fs, queries = self._build(tmp_path)
 

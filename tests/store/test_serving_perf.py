@@ -200,6 +200,59 @@ class TestPrefetch:
             SpatialDataStore.open(fs, lakes_v2, prefetch_pages=-1)
 
 
+class TestPrefetchBoundaries:
+    """PR 4 audit of the readahead at the container boundary: the extension
+    must clamp at the last page (never reading into the page directory that
+    follows the payloads) and the counters must stay consistent."""
+
+    def test_demand_on_last_page_prefetches_nothing(self, fs, lakes_v2):
+        store = SpatialDataStore.open(fs, lakes_v2, cache_pages=64,
+                                      prefetch_pages=8)
+        last = store.num_pages - 1
+        store._get_pages([last])
+        assert store.stats.pages_prefetched == 0
+        assert store.stats.bytes_read == store.pages[last].nbytes
+
+    def test_fetches_never_read_past_the_payload_region(self, fs, lakes_v2):
+        # capture every ReadRequest the store emits and check each range
+        # stays inside [HEADER_SIZE, dir_offset) — over-reads would cross
+        # into the page directory
+        from repro.store.format import HEADER_SIZE
+
+        store = SpatialDataStore.open(fs, lakes_v2, cache_pages=64,
+                                      prefetch_pages=8)
+        data_end = max(meta.offset + meta.nbytes for meta in store.pages)
+        captured = []
+        real_read_time = store.fs.read_time
+
+        def spy(path, requests, readers=None):
+            captured.extend(requests)
+            return real_read_time(path, requests, readers)
+
+        store.fs.read_time = spy
+        try:
+            for env in windows(store, n=6, seed=47):
+                store.range_query(env, exact=False)
+            store.range_query(store.extent, exact=False)
+        finally:
+            store.fs.read_time = real_read_time
+        assert captured
+        for req in captured:
+            for offset, nbytes in req.ranges:
+                assert offset >= HEADER_SIZE
+                assert offset + nbytes <= data_end
+
+    def test_prefetch_counter_matches_scheduler_output(self, fs, lakes_v2):
+        store = SpatialDataStore.open(fs, lakes_v2, cache_pages=1024,
+                                      prefetch_pages=3)
+        missing = [0]
+        schedule = store.scheduler.schedule(missing, is_cached=lambda p: False)
+        store._get_pages(missing)
+        assert store.stats.pages_prefetched == schedule.num_prefetched
+        assert store.stats.read_requests == len(schedule.runs)
+        assert store.stats.bytes_read == schedule.total_bytes
+
+
 class TestAdmissionPolicy:
     def test_no_scan_keeps_scans_out_of_the_cache(self, fs, lakes, lakes_v2):
         store = SpatialDataStore.open(fs, lakes_v2, cache_pages=64, admission="no_scan")

@@ -52,6 +52,14 @@ def test_distributed_serving_reports_identical_results():
     assert "phase breakdown" in proc.stdout
 
 
+def test_async_serving_reports_identical_results_and_throughput():
+    proc = run_example("async_serving.py")
+    assert proc.returncode == 0, f"async_serving.py failed:\n{proc.stderr}"
+    assert "identical to sequential submission" in proc.stdout
+    assert "phase-overlapped serving" in proc.stdout
+    assert "async W=4" in proc.stdout
+
+
 def test_quickstart_output_mentions_polygons():
     proc = run_example("quickstart.py")
     assert "polygons" in proc.stdout
