@@ -136,6 +136,17 @@ class SimulatedFilesystem:
         if layout is not None:
             self.set_layout(path, layout)
 
+    def remove(self, path: str) -> None:
+        """Delete a file (idempotent: a missing path is not an error).
+
+        Store compaction uses this to drop merged delta containers; the
+        recorded striping layout is forgotten with the file.
+        """
+        backing = self.backing_path(path)
+        if backing.exists() or backing.is_symlink():
+            backing.unlink()
+        self._layouts.pop(path.lstrip("/"), None)
+
     def create_file_from_local(self, path: str, local: Union[str, Path], layout: Optional[StripeLayout] = None) -> None:
         """Register an existing local file under *path* (no copy; a symlink is
         created inside the filesystem root)."""

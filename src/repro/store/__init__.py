@@ -12,8 +12,16 @@ for it again:
     One-shot bulk loader: grid partitioning (with replication), space-
     filling-curve record ordering, page packing, index construction.
 
+``repro.store.mutable``
+    Incremental appends and compaction: :class:`StoreAppender` writes delta
+    generations (delta container + delta index + manifest tombstones),
+    :func:`compact_store` merges them back into one SFC-packed v2 container;
+    :class:`ShardedStoreAppender` / :func:`compact_sharded_store` route
+    appends to each record's home shard and broadcast tombstones.
+
 ``repro.store.manifest``
-    The JSON partition manifest used for partition-level pruning.
+    The JSON partition manifest used for partition-level pruning (and, for
+    mutable stores, the generation list + record-id tombstones).
 
 ``repro.store.index_io``
     Flat serialisation of the STR-packed R-tree so opens skip the bulk load.
@@ -48,24 +56,37 @@ from .cache import CacheStats, LRUPageCache
 from .datastore import (
     ADMISSION_POLICIES,
     IO_POLICIES,
+    Generation,
     QueryHit,
     SpatialDataStore,
     StoreStats,
 )
 from .engine import PlanEntry, QueryPlan, QueryPlanner, RefineExecutor, StoreEngine
-from .format import PageMeta, RecordRef, StoreError, StoreFormatError, StoreHeader
+from .format import PageKey, PageMeta, RecordRef, StoreError, StoreFormatError, StoreHeader
 from .frontend import AsyncStoreFrontend, BatchMetrics, FrontendResult
 from .page import CachedPage
 from .index_io import dump_index, load_index
 from .scheduler import IOSchedule, IOScheduler, ScheduledRun, cost_model_gap
 from .manifest import (
+    GenerationInfo,
     PartitionInfo,
     ShardInfo,
     ShardsManifest,
     StoreManifest,
+    delta_paths,
     shard_store_name,
     shards_path,
     store_paths,
+)
+from .mutable import (
+    AppendResult,
+    CompactionResult,
+    ShardedAppendResult,
+    ShardedCompactionResult,
+    ShardedStoreAppender,
+    StoreAppender,
+    compact_sharded_store,
+    compact_store,
 )
 from .router import ShardRouter, shard_assignment
 from .sharded import (
@@ -82,6 +103,18 @@ __all__ = [
     "ADMISSION_POLICIES",
     "IO_POLICIES",
     "SpatialDataStore",
+    "StoreAppender",
+    "ShardedStoreAppender",
+    "AppendResult",
+    "CompactionResult",
+    "ShardedAppendResult",
+    "ShardedCompactionResult",
+    "compact_store",
+    "compact_sharded_store",
+    "Generation",
+    "GenerationInfo",
+    "PageKey",
+    "delta_paths",
     "StoreEngine",
     "QueryPlanner",
     "QueryPlan",

@@ -93,16 +93,20 @@ class LRUPageCache(Generic[K, V]):
 
         ``admit=False`` is the admission policy's veto: the load is counted
         but the entry is not cached (e.g. pages touched only by a full scan,
-        which would evict the query working set for no future benefit).
+        which would evict the query working set for no future benefit).  The
+        veto applies to *new* entries only — a key that is already cached is
+        refreshed regardless, because rejecting it would skew the
+        ``admission_rejects`` counter with loads that never bypassed the
+        cache and would leave a genuinely hot page stranded at the LRU end.
         """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
         if not admit:
             self.stats.admission_rejects += 1
             return
         if self.capacity == 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self._entries[key] = value
             return
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)

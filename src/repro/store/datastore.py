@@ -8,6 +8,13 @@ packed index.  Queries prune partition MBRs (manifest), then page MBRs
 (page directory / index), and decode **only the pages they touch**, through
 an LRU page cache.
 
+A store may carry *delta generations* stacked by incremental appends
+(:mod:`repro.store.mutable`): each generation is its own container file
+with its own page directory, packed index and I/O scheduler, queries plan
+``(generation, page, slot)`` candidates across all of them with
+newest-generation shadowing and record-id tombstones, and ``compact()``
+merges them back into one container.
+
 All filesystem traffic goes through :class:`repro.pfs.SimulatedFilesystem`,
 so the store's I/O is charged by the same cost model as the rest of the
 reproduction; the accumulated simulated seconds are exposed via
@@ -27,6 +34,7 @@ from .engine import StoreEngine
 from .format import (
     HEADER_SIZE,
     VERSION,
+    PageKey,
     PageMeta,
     RecordRef,
     StoreFormatError,
@@ -34,7 +42,7 @@ from .format import (
     unpack_page_directory,
 )
 from .index_io import load_index
-from .manifest import StoreManifest, store_paths
+from .manifest import GenerationInfo, StoreManifest, delta_paths, store_paths
 from .page import CachedPage
 from .scheduler import IOScheduler
 from .writer import BulkLoadResult, bulk_load
@@ -42,6 +50,7 @@ from .writer import BulkLoadResult, bulk_load
 __all__ = [
     "ADMISSION_POLICIES",
     "IO_POLICIES",
+    "Generation",
     "QueryHit",
     "StoreStats",
     "SpatialDataStore",
@@ -69,6 +78,33 @@ class QueryHit:
     geometry: Geometry
     partition_id: int
     page_id: int
+    #: generation whose container holds the returned replica (0 = base)
+    generation: int = 0
+
+
+@dataclass
+class Generation:
+    """One generation of an open store: the base container (generation 0) or
+    a delta container stacked by an incremental append.
+
+    Each generation keeps its own page directory, packed index, file handle
+    and :class:`~repro.store.scheduler.IOScheduler`, so read coalescing and
+    readahead never mix byte ranges of different files; the page cache and
+    the statistics are shared store-wide (pages are addressed by
+    :class:`~repro.store.format.PageKey`).
+    """
+
+    gen_id: int
+    pages: List[PageMeta]
+    index: STRtree
+    scheduler: IOScheduler
+    data_path: str
+    #: tight MBR of the generation's records (delta-level pruning key;
+    #: the base generation prunes via the manifest's partitions instead)
+    extent: Envelope
+    #: page-payload layout version of the generation's container
+    version: int = VERSION
+    handle: Optional[FileHandle] = None
 
 
 @dataclass
@@ -132,8 +168,9 @@ class SpatialDataStore:
         version: int = VERSION,
         admission: str = "all",
         coalesce_gap: Optional[int] = None,
-        prefetch_pages: int = 0,
+        prefetch_pages: Optional[int] = None,
         io_policy: str = "fixed",
+        deltas: Sequence[Tuple[GenerationInfo, List[PageMeta], STRtree, int]] = (),
     ) -> None:
         if admission not in ADMISSION_POLICIES:
             raise ValueError(
@@ -143,43 +180,112 @@ class SpatialDataStore:
             raise ValueError(
                 f"unknown io policy {io_policy!r} (use one of {IO_POLICIES})"
             )
-        if prefetch_pages < 0:
+        if prefetch_pages is not None and prefetch_pages < 0:
             raise ValueError("prefetch_pages must be >= 0")
         self.fs = fs
         self.name = name
         self.manifest = manifest
-        self.pages = pages
-        self.index = index
-        self.version = version
         self.admission = admission
         self.io_policy = io_policy
         self.prefetch_pages = prefetch_pages
         self.paths = store_paths(name)
         self.stats = StoreStats()
-        self._cache: LRUPageCache[int, CachedPage] = LRUPageCache(cache_pages)
+        self._cache: LRUPageCache[PageKey, CachedPage] = LRUPageCache(cache_pages)
         self.stats.cache = self._cache.stats
-        self._partition_of_page = manifest.partition_of_page()
-        self._handle: Optional[FileHandle] = None
-        if io_policy == "cost_model":
-            # an explicit prefetch_pages caps the stripe-derived depth,
-            # mirroring how an explicit coalesce_gap overrides the derived
-            # gap; the cache-capacity guard keeps a fetch's readahead from
-            # evicting its own demand pages
-            self.scheduler = IOScheduler.cost_aware(
-                pages,
-                layout=fs.layout_of(self.paths["data"]),
-                cost_model=fs.cost_model,
-                gap=coalesce_gap,
-                prefetch_limit=prefetch_pages if prefetch_pages > 0 else None,
-                cache_capacity=cache_pages,
+        self._cache_pages = cache_pages
+        self._coalesce_gap = coalesce_gap
+
+        #: generation 0 (base container) plus one entry per delta, indexed
+        #: by generation id
+        self.generations: List[Generation] = [
+            Generation(
+                gen_id=0,
+                pages=pages,
+                index=index,
+                scheduler=self._make_scheduler(pages, self.paths["data"]),
+                data_path=self.paths["data"],
+                extent=manifest.extent,
+                version=version,
             )
-        else:
-            self.scheduler = IOScheduler(
-                pages,
-                gap=manifest.page_size if coalesce_gap is None else coalesce_gap,
-                prefetch_pages=prefetch_pages,
+        ]
+        self._partition_of_page: Dict[PageKey, int] = {
+            PageKey(0, pid): part
+            for pid, part in manifest.partition_of_page().items()
+        }
+        for info, delta_pages, delta_index, delta_version in deltas:
+            if info.gen_id != len(self.generations):
+                raise StoreFormatError(
+                    f"store {name!r} has non-contiguous generation ids: "
+                    f"expected {len(self.generations)}, got {info.gen_id}"
+                )
+            self.generations.append(
+                Generation(
+                    gen_id=info.gen_id,
+                    pages=delta_pages,
+                    index=delta_index,
+                    scheduler=self._make_scheduler(
+                        delta_pages, delta_paths(name, info.gen_id)["data"]
+                    ),
+                    data_path=delta_paths(name, info.gen_id)["data"],
+                    extent=info.extent,
+                    version=delta_version,
+                )
             )
+            for pid, part in info.partition_of_page().items():
+                self._partition_of_page[PageKey(info.gen_id, pid)] = part
+        #: record id -> newest generation that tombstoned it (occurrences in
+        #: strictly older generations are invisible)
+        self._tombstone_gen: Dict[int, int] = manifest.tombstone_generations()
         self.engine = StoreEngine(self)
+
+    def _make_scheduler(self, pages: List[PageMeta], path: str) -> IOScheduler:
+        """Per-generation scheduler: coalescing and readahead never span
+        container files.  ``prefetch_pages=None`` means the policy default
+        (no readahead under ``"fixed"``, stripe-derived depth under
+        ``"cost_model"``); an explicit ``0`` disables readahead under both
+        policies, and the cache-capacity guard keeps a fetch's readahead
+        from evicting its own demand pages under both as well."""
+        if self.io_policy == "cost_model":
+            return IOScheduler.cost_aware(
+                pages,
+                layout=self.fs.layout_of(path),
+                cost_model=self.fs.cost_model,
+                gap=self._coalesce_gap,
+                prefetch_limit=self.prefetch_pages,
+                cache_capacity=self._cache_pages,
+            )
+        return IOScheduler(
+            pages,
+            gap=self.manifest.page_size if self._coalesce_gap is None else self._coalesce_gap,
+            prefetch_pages=0 if self.prefetch_pages is None else self.prefetch_pages,
+            cache_capacity=self._cache_pages,
+        )
+
+    # the base generation's state lives only in generations[0]; these
+    # aliases keep the single-container surface everyone already uses
+    @property
+    def pages(self) -> List[PageMeta]:
+        """The base container's page directory."""
+        return self.generations[0].pages
+
+    @property
+    def index(self) -> STRtree:
+        """The base container's packed index."""
+        return self.generations[0].index
+
+    @property
+    def version(self) -> int:
+        """The base container's page-payload layout version."""
+        return self.generations[0].version
+
+    @property
+    def scheduler(self) -> IOScheduler:
+        """The base generation's I/O scheduler (deltas each have their own)."""
+        return self.generations[0].scheduler
+
+    @property
+    def _handle(self) -> Optional[FileHandle]:
+        return self.generations[0].handle
 
     @property
     def coalesce_gap(self) -> int:
@@ -197,17 +303,20 @@ class SpatialDataStore:
         cache_pages: int = 64,
         admission: str = "all",
         coalesce_gap: Optional[int] = None,
-        prefetch_pages: int = 0,
+        prefetch_pages: Optional[int] = None,
         io_policy: str = "fixed",
     ) -> "SpatialDataStore":
-        """Open a persisted store: manifest + page directory + packed index.
+        """Open a persisted store: manifest + page directory + packed index
+        (for the base container and for every delta generation stacked by
+        appends).
 
         This is the whole cold-start cost — no record is parsed and the
         R-tree is reconstituted, not rebuilt.  Serving knobs: *admission*
         (page-cache admission policy, see :data:`ADMISSION_POLICIES`),
         *coalesce_gap* (max byte gap between candidate pages still merged
         into one read range; default one page size) and *prefetch_pages*
-        (sequential readahead past the demand frontier, off by default).
+        (sequential readahead past the demand frontier; ``None`` keeps the
+        policy default, ``0`` disables readahead under **both** policies).
         With ``io_policy="cost_model"`` the gap and the readahead depth are
         derived from the data file's striping layout and the filesystem's
         cost model instead (see :data:`IO_POLICIES`); an explicit
@@ -255,6 +364,42 @@ class SpatialDataStore:
             io_seconds += fs.read_time(paths["index"], [ReadRequest(0, ((0, len(index_raw)),))])
         index = load_index(index_raw)
 
+        deltas: List[Tuple[GenerationInfo, List[PageMeta], STRtree, int]] = []
+        for info in manifest.generations:
+            if info.num_pages == 0:
+                # tombstone-only generation: no delta files were written
+                deltas.append((info, [], STRtree([]), VERSION))
+                continue
+            dpaths = delta_paths(name, info.gen_id)
+            with fs.open(dpaths["data"]) as fh:
+                dheader = unpack_header(fh.pread(0, HEADER_SIZE), file_size=fh.size)
+                ddirectory = fh.pread(dheader.dir_offset, dheader.dir_nbytes)
+                io_seconds += fs.open_time()
+                io_seconds += fs.read_time(
+                    dpaths["data"],
+                    [ReadRequest(0, ((0, HEADER_SIZE), (dheader.dir_offset, dheader.dir_nbytes)))],
+                )
+            if dheader.num_pages != info.num_pages:
+                raise StoreFormatError(
+                    f"manifest and delta container disagree for generation "
+                    f"{info.gen_id} of store {name!r}: {info.num_pages} vs "
+                    f"{dheader.num_pages} pages"
+                )
+            with fs.open(dpaths["index"]) as fh:
+                dindex_raw = fh.pread(0, fh.size)
+                io_seconds += fs.open_time()
+                io_seconds += fs.read_time(
+                    dpaths["index"], [ReadRequest(0, ((0, len(dindex_raw)),))]
+                )
+            deltas.append(
+                (
+                    info,
+                    unpack_page_directory(ddirectory, dheader.num_pages),
+                    load_index(dindex_raw),
+                    dheader.version,
+                )
+            )
+
         store = cls(
             fs,
             name,
@@ -267,6 +412,7 @@ class SpatialDataStore:
             coalesce_gap=coalesce_gap,
             prefetch_pages=prefetch_pages,
             io_policy=io_policy,
+            deltas=deltas,
         )
         store.stats.io_seconds = io_seconds
         return store
@@ -278,16 +424,35 @@ class SpatialDataStore:
         name: str,
         geometries,
         cache_pages: int = 64,
+        admission: str = "all",
+        coalesce_gap: Optional[int] = None,
+        prefetch_pages: Optional[int] = None,
+        io_policy: str = "fixed",
         **options,
     ) -> Tuple["SpatialDataStore", BulkLoadResult]:
-        """Write the store files and open the result (load + serve in one go)."""
+        """Write the store files and open the result (load + serve in one go).
+
+        Serving knobs (*admission*, *coalesce_gap*, *prefetch_pages*,
+        *io_policy*) are forwarded to :meth:`open`; every other keyword goes
+        to the bulk loader, exactly as if the two were called separately.
+        """
         result = bulk_load(fs, name, geometries, **options)
-        return cls.open(fs, name, cache_pages=cache_pages), result
+        store = cls.open(
+            fs,
+            name,
+            cache_pages=cache_pages,
+            admission=admission,
+            coalesce_gap=coalesce_gap,
+            prefetch_pages=prefetch_pages,
+            io_policy=io_policy,
+        )
+        return store, result
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        for gen in self.generations:
+            if gen.handle is not None:
+                gen.handle.close()
+                gen.handle = None
 
     def __enter__(self) -> "SpatialDataStore":
         return self
@@ -299,21 +464,36 @@ class SpatialDataStore:
     # basic introspection
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return self.manifest.num_records
+        """Visible logical records across all generations (tombstones out)."""
+        return self.manifest.num_live_records
 
     @property
     def extent(self) -> Envelope:
-        return self.manifest.extent
+        out = self.manifest.extent
+        for gen in self.generations[1:]:
+            out = out.union(gen.extent)
+        return out
 
     @property
     def num_pages(self) -> int:
+        """Pages in the base container (see :attr:`total_pages` for all
+        generations)."""
         return len(self.pages)
+
+    @property
+    def total_pages(self) -> int:
+        return sum(len(gen.pages) for gen in self.generations)
+
+    @property
+    def num_generations(self) -> int:
+        """Delta generations stacked on the base container (0 = compact)."""
+        return len(self.generations) - 1
 
     def describe(self) -> str:
         return (
             f"SpatialDataStore({self.name!r}: {len(self)} records, "
-            f"{self.num_pages} pages, {len(self.manifest.partitions)} partitions "
-            f"on {self.fs.describe()})"
+            f"{self.total_pages} pages, {len(self.manifest.partitions)} partitions, "
+            f"{self.num_generations} delta generations on {self.fs.describe()})"
         )
 
     # ------------------------------------------------------------------ #
@@ -322,65 +502,89 @@ class SpatialDataStore:
     def _on_decode(self, n: int) -> None:
         self.stats.records_decoded += n
 
-    def _fetch_missing(self, missing: List[int], admit: bool) -> Dict[int, CachedPage]:
+    def _fetch_missing(
+        self, missing: List[PageKey], admit: bool
+    ) -> Dict[PageKey, CachedPage]:
         """Read the (sorted) *missing* pages with coalesced, gap-tolerant
         read ranges — the two-phase-I/O analogue of the serving path.
 
-        The runs come from the store's :class:`~repro.store.scheduler.
-        IOScheduler`: adjacent or near pages merge into one range, the whole
-        schedule is issued as a single :class:`ReadRequest` (so the cost
-        model charges one run of requests instead of one RPC per page), and
-        readahead extends the final run past the demand frontier — by a
-        fixed ``prefetch_pages`` depth, or to the stripe boundary under the
-        cost-model policy (pages are laid out back to back, so the extension
-        pays bandwidth, never extra latency).
+        Misses are grouped by generation (coalescing never spans container
+        files); within each generation the runs come from that generation's
+        :class:`~repro.store.scheduler.IOScheduler`: adjacent or near pages
+        merge into one range, the whole schedule is issued as a single
+        :class:`ReadRequest` (so the cost model charges one run of requests
+        instead of one RPC per page), and readahead extends the final run
+        past the demand frontier — by a fixed ``prefetch_pages`` depth, or
+        to the stripe boundary under the cost-model policy (pages are laid
+        out back to back, so the extension pays bandwidth, never extra
+        latency).
         """
-        if self._handle is None:
-            self._handle = self.fs.open(self.paths["data"])
-            self.stats.io_seconds += self.fs.open_time()
+        by_gen: Dict[int, List[int]] = {}
+        for key in missing:
+            by_gen.setdefault(key.generation, []).append(key.page_id)
 
-        schedule = self.scheduler.schedule(
-            missing, is_cached=self._cache.__contains__, allow_prefetch=admit
-        )
+        out: Dict[PageKey, CachedPage] = {}
+        for gen_id in sorted(by_gen):
+            gen = self.generations[gen_id]
+            if gen.handle is None:
+                gen.handle = self.fs.open(gen.data_path)
+                self.stats.io_seconds += self.fs.open_time()
 
-        out: Dict[int, CachedPage] = {}
-        for run in schedule.runs:
-            buf = self._handle.pread(run.offset, run.nbytes)
-            if len(buf) != run.nbytes:
-                raise StoreFormatError(
-                    f"pages {run.page_ids[0]}..{run.page_ids[-1]} of store "
-                    f"{self.name!r} are truncated: got {len(buf)} of "
-                    f"{run.nbytes} bytes"
-                )
-            for pid in run.page_ids:
-                meta = self.pages[pid]
-                payload = buf[meta.offset - run.offset : meta.offset - run.offset + meta.nbytes]
-                out[pid] = CachedPage(pid, payload, self.version, on_decode=self._on_decode)
+            schedule = gen.scheduler.schedule(
+                sorted(by_gen[gen_id]),
+                is_cached=lambda pid, g=gen_id: PageKey(g, pid) in self._cache,
+                allow_prefetch=admit,
+            )
 
-        self.stats.io_seconds += self.fs.read_time(
-            self.paths["data"], [schedule.read_request()]
-        )
-        self.stats.read_requests += len(schedule.runs)
-        self.stats.bytes_read += schedule.total_bytes
+            for run in schedule.runs:
+                buf = gen.handle.pread(run.offset, run.nbytes)
+                if len(buf) != run.nbytes:
+                    raise StoreFormatError(
+                        f"pages {run.page_ids[0]}..{run.page_ids[-1]} of "
+                        f"generation {gen_id} of store {self.name!r} are "
+                        f"truncated: got {len(buf)} of {run.nbytes} bytes"
+                    )
+                for pid in run.page_ids:
+                    meta = gen.pages[pid]
+                    payload = buf[meta.offset - run.offset : meta.offset - run.offset + meta.nbytes]
+                    out[PageKey(gen_id, pid)] = CachedPage(
+                        pid, payload, gen.version, on_decode=self._on_decode
+                    )
+
+            self.stats.io_seconds += self.fs.read_time(
+                gen.data_path, [schedule.read_request()]
+            )
+            self.stats.read_requests += len(schedule.runs)
+            self.stats.bytes_read += schedule.total_bytes
+            self.stats.pages_prefetched += schedule.num_prefetched
         self.stats.pages_read += len(missing)
-        self.stats.pages_prefetched += schedule.num_prefetched
-        for pid, page in out.items():
-            self._cache.put(pid, page, admit=admit)
+        for key, page in out.items():
+            self._cache.put(key, page, admit=admit)
         return out
 
-    def _get_pages(self, page_ids: Iterable[int], admit: bool = True) -> Dict[int, CachedPage]:
-        """Resolve *page_ids* to cached page images, fetching misses in
-        coalesced runs.  The returned dict holds strong references, so the
+    @staticmethod
+    def _page_key(key: Union[PageKey, Tuple[int, int], int]) -> PageKey:
+        """Normalise a page address: a bare int means the base generation."""
+        if isinstance(key, tuple):
+            return PageKey(*key)
+        return PageKey(0, key)
+
+    def _get_pages(
+        self, page_ids: Iterable[Union[PageKey, int]], admit: bool = True
+    ) -> Dict[PageKey, CachedPage]:
+        """Resolve *page_ids* (``PageKey`` or bare base-generation ints) to
+        cached page images, fetching misses in coalesced runs.  The returned
+        dict holds strong references keyed by :class:`PageKey`, so the
         caller can evaluate against every page even when the cache is
         smaller than the working set."""
-        out: Dict[int, CachedPage] = {}
-        missing: List[int] = []
-        for pid in sorted(set(page_ids)):
-            page = self._cache.get(pid)
+        out: Dict[PageKey, CachedPage] = {}
+        missing: List[PageKey] = []
+        for key in sorted({self._page_key(k) for k in page_ids}):
+            page = self._cache.get(key)
             if page is None:
-                missing.append(pid)
+                missing.append(key)
             else:
-                out[pid] = page
+                out[key] = page
         if missing:
             out.update(self._fetch_missing(missing, admit))
         return out
@@ -452,20 +656,34 @@ class SpatialDataStore:
         return pairs
 
     def scan(self) -> Iterator[Tuple[int, Geometry]]:
-        """Every logical record once, in record-id order (round-trip checks).
+        """Every *visible* logical record exactly once (round-trip checks).
 
-        The whole container is fetched in coalesced runs; under the
-        ``"no_scan"`` admission policy the pages bypass the cache so a scan
-        cannot evict the query working set.
+        Generations are walked newest-first so an updated record yields its
+        newest version; tombstoned ids never surface.  Pages are fetched in
+        bounded runs (at most one cache capacity's worth at a time) so the
+        scan's memory stays bounded by the page cache, not the container —
+        the engine's bounded-memory contract; under the ``"no_scan"``
+        admission policy the pages additionally bypass the cache so a scan
+        cannot evict the query working set.  Records stream out in
+        (generation desc, page, slot) order, not record-id order.
         """
         admit = self.admission != "no_scan"
+        run_len = self._cache.capacity if self._cache.capacity > 0 else 16
         seen: set = set()
-        out: List[Tuple[int, Geometry]] = []
-        if self.num_pages:
-            pages = self._get_pages(range(self.num_pages), admit=admit)
-            for page_id in range(self.num_pages):
-                for record_id, geom in pages[page_id].records():
-                    if record_id not in seen:
+        for gen in reversed(self.generations):
+            for start in range(0, len(gen.pages), run_len):
+                keys = [
+                    PageKey(gen.gen_id, pid)
+                    for pid in range(start, min(start + run_len, len(gen.pages)))
+                ]
+                pages = self._get_pages(keys, admit=admit)
+                for key in keys:
+                    page = pages[key]
+                    for slot in range(len(page)):
+                        record_id = page.record_ids[slot]
+                        if record_id in seen:
+                            continue
+                        if self._tombstone_gen.get(record_id, -1) > gen.gen_id:
+                            continue
                         seen.add(record_id)
-                        out.append((record_id, geom))
-        return iter(sorted(out, key=lambda t: t[0]))
+                        yield page.record(slot)

@@ -32,11 +32,12 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Un
 
 from ..geometry import Envelope, Geometry, Polygon, predicates
 from ..index import STRtree, spatial_visit_order
+from .format import PageKey
 from .manifest import StoreManifest
 from .page import CachedPage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .datastore import QueryHit, SpatialDataStore
+    from .datastore import Generation, QueryHit, SpatialDataStore
 
 __all__ = ["PlanEntry", "QueryPlan", "QueryPlanner", "RefineExecutor", "StoreEngine"]
 
@@ -52,8 +53,8 @@ class PlanEntry:
     env: Envelope
     #: the exact window geometry, or ``None`` when the window is a rectangle
     geom: Optional[Geometry]
-    #: candidate ``page -> slots`` from the packed index
-    by_page: Dict[int, List[int]]
+    #: candidate ``(generation, page) -> slots`` from the packed indexes
+    by_page: Dict[PageKey, List[int]]
 
 
 @dataclass
@@ -64,8 +65,8 @@ class QueryPlan:
     entries: List[PlanEntry]
     #: evaluation order over ``entries`` (space-filling-curve locality)
     visit_order: List[int]
-    #: sorted distinct page ids the whole batch touches
-    touched_pages: List[int]
+    #: sorted distinct ``(generation, page)`` keys the whole batch touches
+    touched_pages: List[PageKey]
 
     @property
     def num_queries(self) -> int:
@@ -76,22 +77,39 @@ class QueryPlanner:
     """Filter phase: windows → :class:`QueryPlan`.
 
     Pruning is hierarchical, exactly as the pre-engine entry points did it:
-    the manifest's partition data-MBRs give a cheap early exit, then the
-    packed index (whose leaf envelopes bound every record) selects the exact
-    ``(page, slot)`` candidates.  Queries pruned to nothing simply produce no
-    plan entry — their result slot stays an empty list.
+    the manifest's partition data-MBRs give a cheap early exit for the base
+    generation (delta generations prune on their data extent instead — they
+    are small, so partition-level pruning buys nothing there), then each
+    generation's packed index (whose leaf envelopes bound every record)
+    selects the exact ``(generation, page, slot)`` candidates.  Queries
+    pruned to nothing simply produce no plan entry — their result slot stays
+    an empty list.
     """
 
-    def __init__(self, manifest: StoreManifest, index: STRtree) -> None:
+    def __init__(
+        self,
+        manifest: StoreManifest,
+        index: STRtree,
+        deltas: Sequence["Generation"] = (),
+    ) -> None:
         self.manifest = manifest
         self.index = index
+        #: delta generations (gen id >= 1), each with its own packed index
+        self.deltas = list(deltas)
 
     # ------------------------------------------------------------------ #
-    def candidate_slots(self, query_env: Envelope) -> Dict[int, List[int]]:
-        """Candidate ``page -> slots`` for one window, from the packed index."""
-        by_page: Dict[int, List[int]] = {}
-        for ref in self.index.query(query_env):
-            by_page.setdefault(ref.page_id, []).append(ref.slot)
+    def candidate_slots(self, query_env: Envelope) -> Dict[PageKey, List[int]]:
+        """Candidate ``(generation, page) -> slots`` for one window, from
+        the per-generation packed indexes."""
+        by_page: Dict[PageKey, List[int]] = {}
+        if self.manifest.partitions_for(query_env):
+            for ref in self.index.query(query_env):
+                by_page.setdefault(PageKey(0, ref.page_id), []).append(ref.slot)
+        for gen in self.deltas:
+            if gen.extent.is_empty or not gen.extent.intersects(query_env):
+                continue
+            for ref in gen.index.query(query_env):
+                by_page.setdefault(PageKey(gen.gen_id, ref.page_id), []).append(ref.slot)
         return by_page
 
     def plan(
@@ -111,7 +129,7 @@ class QueryPlanner:
                 geom: Optional[Geometry] = window
             else:
                 env, geom = window, None
-            if env.is_empty or not self.manifest.partitions_for(env):
+            if env.is_empty:
                 continue
             by_page = self.candidate_slots(env)
             if by_page:
@@ -120,7 +138,7 @@ class QueryPlanner:
         visit_order = spatial_visit_order(
             [entry.env.centre for entry in entries], self.manifest.extent
         )
-        touched_pages = sorted({pid for entry in entries for pid in entry.by_page})
+        touched_pages = sorted({key for entry in entries for key in entry.by_page})
         return QueryPlan(entries, visit_order, touched_pages)
 
 
@@ -129,20 +147,29 @@ class RefineExecutor:
 
     Replicas are skipped on their record id (envelope column) **before** any
     decode, and only surviving slots are ever WKB/pickle-decoded (memoised
-    per cached page).  When the window is a plain rectangle, a slot MBR
-    contained in the window bounds its geometry inside the window too, so the
-    exact predicate is provably true without evaluating it — only valid for
-    rectangles, which is why :class:`PlanEntry` keeps non-rectangular window
-    geometries explicit.
+    per cached page).  Candidate pages are walked **newest generation
+    first** so when a record id occurs in several generations the newest
+    version wins (generation shadowing), and record ids tombstoned by a
+    newer generation are dropped before any decode.  When the window is a
+    plain rectangle, a slot MBR contained in the window bounds its geometry
+    inside the window too, so the exact predicate is provably true without
+    evaluating it — only valid for rectangles, which is why
+    :class:`PlanEntry` keeps non-rectangular window geometries explicit.
     """
 
-    def __init__(self, partition_of_page: Dict[int, int]) -> None:
+    def __init__(
+        self,
+        partition_of_page: Dict[PageKey, int],
+        tombstone_gen: Optional[Dict[int, int]] = None,
+    ) -> None:
         self._partition_of_page = partition_of_page
+        #: record id -> newest generation that tombstoned it
+        self._tombstone_gen = tombstone_gen or {}
 
     def refine(
         self,
         entry: PlanEntry,
-        pages: Dict[int, CachedPage],
+        pages: Dict[PageKey, CachedPage],
         exact: bool,
     ) -> List["QueryHit"]:
         from .datastore import QueryHit
@@ -157,21 +184,26 @@ class RefineExecutor:
 
         hits: List[QueryHit] = []
         seen: set = set()
-        for page_id in sorted(entry.by_page):
-            page = pages[page_id]
-            partition_id = self._partition_of_page.get(page_id, -1)
-            for slot in entry.by_page[page_id]:
+        for key in sorted(entry.by_page, key=lambda k: (-k[0], k[1])):
+            page = pages[key]
+            partition_id = self._partition_of_page.get(key, -1)
+            generation, page_id = key
+            for slot in entry.by_page[key]:
                 record_id = page.record_ids[slot]
+                # replicas of one record (same or older generation) are
+                # identical or shadowed: the first encounter decides
                 if record_id in seen:
                     continue
+                if self._tombstone_gen.get(record_id, -1) > generation:
+                    continue
+                seen.add(record_id)
                 _, geom = page.record(slot)
                 if refine_geom is not None:
                     slot_env = page.envelope(slot) if rect_window is not None else None
                     contained = slot_env is not None and rect_window.contains(slot_env)
                     if not contained and not predicates.intersects(refine_geom, geom):
                         continue
-                seen.add(record_id)
-                hits.append(QueryHit(record_id, geom, partition_id, page_id))
+                hits.append(QueryHit(record_id, geom, partition_id, page_id, generation))
         hits.sort(key=lambda h: h.record_id)
         return hits
 
@@ -188,8 +220,12 @@ class StoreEngine:
 
     def __init__(self, store: "SpatialDataStore") -> None:
         self.store = store
-        self.planner = QueryPlanner(store.manifest, store.index)
-        self.executor = RefineExecutor(store._partition_of_page)
+        self.planner = QueryPlanner(
+            store.manifest, store.index, store.generations[1:]
+        )
+        self.executor = RefineExecutor(
+            store._partition_of_page, store._tombstone_gen
+        )
 
     @property
     def scheduler(self):

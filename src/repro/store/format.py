@@ -61,6 +61,7 @@ __all__ = [
     "StoreFormatError",
     "StoreHeader",
     "PageMeta",
+    "PageKey",
     "RecordRef",
     "encode_record",
     "encode_record_body",
@@ -120,6 +121,20 @@ class RecordRef(NamedTuple):
 
     page_id: int
     slot: int
+
+
+class PageKey(NamedTuple):
+    """Address of one page across a store's generations.
+
+    Generation 0 is the base container (``data.bin``); generations ``>= 1``
+    are delta containers stacked by incremental appends.  Page ids are local
+    to their generation's container, so the pair is the cache key and the
+    planner's candidate-page key.  Tuple ordering (generation first) is what
+    the refine phase's newest-generation-first walk sorts on.
+    """
+
+    generation: int
+    page_id: int
 
 
 @dataclass(frozen=True)

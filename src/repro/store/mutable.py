@@ -1,0 +1,740 @@
+"""Incremental appends and compaction for `repro.store` — mutable stores.
+
+§4.1 of the paper motivates persisting the partitioned, indexed binary form
+so repeated traffic never re-runs the pipeline; before this module the
+persisted form was *write-once*: any new data forced a full ``bulk_load``.
+This module makes a store mutable without ever rewriting the base container
+on the serving path:
+
+* :class:`StoreAppender` writes each batch of new records as a **delta
+  generation** — a self-contained delta page container plus a packed delta
+  index (paths via :func:`~repro.store.manifest.delta_paths`), registered in
+  the manifest's generation list together with the record-id *tombstones*
+  that hide deleted/updated records in older generations.  Appended records
+  are partitioned with the store's existing grid (replication included), so
+  a delta is structurally a miniature base container and the query engine
+  can plan ``(generation, page, slot)`` candidates across all generations
+  (newest shadowing oldest) with per-generation I/O scheduling.
+* :func:`compact_store` merges base + deltas back into one SFC-packed v2
+  container: the store's visible records (tombstones applied, newest
+  versions winning) are re-partitioned and re-packed exactly like a fresh
+  bulk load — record ids preserved — and the delta files are deleted.
+  Query results are identical before and after; per-query I/O returns to
+  fresh-bulk-load shape.
+* :class:`ShardedStoreAppender` / :func:`compact_sharded_store` are the
+  distributed counterparts: each appended record routes to its **home
+  shard** (the shard owning its home partition — lowest overlapping global
+  grid cell), tombstones are broadcast to every shard so stale versions can
+  never resurface from a replica, and ``shards.json`` is refreshed (extents,
+  counts, generation tally) so routing keeps pruning correctly.
+
+Deleting a record id that was never assigned is a caller error: the id is
+validated against the manifest's id ceiling, but holes left by skipped
+empty geometries cannot be told apart from live ids without a scan, so the
+``live_records`` counter assumes every delete names a live record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.grid_partition import assign_to_cells, build_grid, cell_rtree
+from ..geometry import Envelope, Geometry
+from ..index import STRtree, UniformGrid
+from ..pfs import ReadRequest, SimulatedFilesystem
+from .format import HEADER_SIZE, StoreError, pack_header, pack_page_directory
+from .index_io import dump_index
+from .manifest import (
+    MANIFEST_VERSION,
+    SHARDS_VERSION,
+    GenerationInfo,
+    ShardsManifest,
+    StoreManifest,
+    delta_paths,
+    shards_path,
+    store_paths,
+)
+from .router import ShardRouter
+from .writer import (
+    PackedPartitions,
+    _Rec,
+    pack_partitions,
+    partition_identified,
+    write_store_files,
+)
+
+__all__ = [
+    "AppendResult",
+    "CompactionResult",
+    "ShardedAppendResult",
+    "ShardedCompactionResult",
+    "StoreAppender",
+    "ShardedStoreAppender",
+    "compact_store",
+    "compact_sharded_store",
+]
+
+
+@dataclass
+class AppendResult:
+    """Summary of one append (``gen_id`` is ``None`` for a no-op append)."""
+
+    manifest: StoreManifest
+    gen_id: Optional[int]
+    #: distinct logical records packed into the new generation
+    num_records: int
+    #: record replicas packed (>= num_records with grid replication)
+    num_replicas: int
+    num_pages: int
+    #: record ids tombstoned by this generation (deletes + updates)
+    num_tombstones: int
+    data_bytes: int
+    index_bytes: int
+    #: simulated seconds charged for writing the delta files + manifest
+    write_seconds: float
+
+
+@dataclass
+class CompactionResult:
+    """Summary of one compaction."""
+
+    manifest: StoreManifest
+    #: delta generations merged into the new base container
+    merged_generations: int
+    #: visible logical records in the compacted store
+    num_records: int
+    num_pages: int
+    data_bytes: int
+    index_bytes: int
+    write_seconds: float
+
+
+class StoreAppender:
+    """Incremental writer for one persisted store.
+
+    Opens the manifest once; every :meth:`append` call persists one delta
+    generation and rewrites the manifest.  *grid* overrides the partition
+    grid (the sharded appender passes the **global** grid so partition ids
+    stay global inside shard stores); *cell_tree* is an optional pre-built
+    cell R-tree over that same grid (the sharded appender shares the
+    router's cached tree across all shard appenders instead of rebuilding
+    it per shard); *allowed_partitions* restricts the replication to a set
+    of grid cells (a shard's owned partitions); *count_deletes* disables
+    the live-record decrement for deletes whose home shard is unknown
+    locally (the sharded appender accounts for them globally instead).
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedFilesystem,
+        name: str,
+        order: str = "hilbert",
+        node_capacity: int = 16,
+        grid: Optional[UniformGrid] = None,
+        allowed_partitions: Optional[Iterable[int]] = None,
+        count_deletes: bool = True,
+        cell_tree=None,
+    ) -> None:
+        self.fs = fs
+        self.name = name
+        self.order = order
+        self.node_capacity = node_capacity
+        self.paths = store_paths(name)
+        self._grid_override = grid
+        self._cell_tree = cell_tree
+        self.allowed_partitions = (
+            None if allowed_partitions is None else set(allowed_partitions)
+        )
+        self.count_deletes = count_deletes
+        if not fs.exists(self.paths["manifest"]):
+            raise FileNotFoundError(
+                f"store {name!r} is missing {self.paths['manifest']!r}; "
+                f"run bulk_load first"
+            )
+        with fs.open(self.paths["manifest"]) as fh:
+            raw = fh.pread(0, fh.size)
+        self.manifest = StoreManifest.from_json(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def grid(self) -> Optional[UniformGrid]:
+        """The partition grid appends replicate against (``None`` until an
+        empty store's first append establishes one)."""
+        if self._grid_override is not None:
+            return self._grid_override
+        if self.manifest.extent.is_empty:
+            return None
+        return UniformGrid(
+            self.manifest.extent, self.manifest.grid_rows, self.manifest.grid_cols
+        )
+
+    def _write(self, path: str, blob: bytes) -> float:
+        self.fs.create_file(path, blob)
+        seconds = self.fs.open_time()
+        if blob:
+            seconds += self.fs.write_time(path, [ReadRequest(0, ((0, len(blob)),))])
+        return seconds
+
+    def _assign(
+        self, recs: List[_Rec], grid: UniformGrid
+    ) -> Dict[int, List[_Rec]]:
+        """Grid-assign append records (replication included), restricted to
+        the allowed partitions when serving one shard of a sharded store."""
+        cells = assign_to_cells(grid, recs, self._cell_tree or cell_rtree(grid))
+        if self.allowed_partitions is not None:
+            cells = {
+                cid: rs for cid, rs in cells.items() if cid in self.allowed_partitions
+            }
+            assigned = {r.rid for rs in cells.values() for r in rs}
+            missing = [r.rid for r in recs if r.rid not in assigned]
+            if missing:
+                raise StoreError(
+                    f"records {missing[:5]} routed to store {self.name!r} "
+                    f"overlap none of its partitions — sharded routing "
+                    f"invariant violated"
+                )
+        return cells
+
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        geometries: Iterable[Geometry] = (),
+        deletes: Iterable[int] = (),
+        record_ids: Optional[Sequence[int]] = None,
+        id_ceiling: Optional[int] = None,
+    ) -> AppendResult:
+        """Persist one delta generation: *geometries* as new records plus
+        record-id tombstones for *deletes*.
+
+        New records get fresh ids from the manifest's id ceiling (empty
+        geometries consume an id but store nothing, mirroring the bulk
+        loader's positional numbering).  Passing *record_ids* pins explicit
+        ids; an id below the ceiling is an **update** — it is automatically
+        tombstoned so the new version shadows every older generation.
+        *id_ceiling* overrides the validation/allocation ceiling (the
+        sharded appender supplies the global one).
+        """
+        geoms = list(geometries)
+        manifest = self.manifest
+        if id_ceiling is None and manifest.next_record_id is None and (
+            manifest.num_records or manifest.generations
+        ):
+            # legacy manifest (pre-mutable bulk load): num_records undercounts
+            # the id ceiling when empty geometries were skipped, so a fresh
+            # id could collide with a live record — derive the true ceiling
+            # from the stored record ids once and persist it below
+            manifest.next_record_id = _derive_id_ceiling(self.fs, self.name)
+        ceiling = manifest.record_id_ceiling if id_ceiling is None else id_ceiling
+
+        if record_ids is None:
+            ids = list(range(ceiling, ceiling + len(geoms)))
+        else:
+            ids = [int(rid) for rid in record_ids]
+            if len(ids) != len(geoms):
+                raise ValueError(
+                    f"record_ids has {len(ids)} entries for {len(geoms)} geometries"
+                )
+            if len(set(ids)) != len(ids):
+                raise ValueError("record_ids must be distinct within one append")
+            if any(rid < 0 for rid in ids):
+                raise ValueError("record ids must be >= 0")
+
+        delete_ids = sorted({int(rid) for rid in deletes})
+        for rid in delete_ids:
+            if rid < 0 or rid >= ceiling:
+                raise ValueError(
+                    f"cannot delete record {rid}: ids run below {ceiling}"
+                )
+        updates = sorted({rid for rid in ids if rid < ceiling})
+        tombstones = sorted(set(delete_ids) | set(updates))
+
+        usable = [
+            _Rec(rid, g) for rid, g in zip(ids, geoms) if not g.envelope.is_empty
+        ]
+        if not usable and not tombstones:
+            return AppendResult(manifest, None, 0, 0, 0, 0, 0, 0, 0.0)
+
+        # ids currently invisible (captured before this generation exists)
+        previously_dead = manifest.dead_records()
+
+        gen_id = len(manifest.generations) + 1
+        grid = self.grid
+        if grid is None and usable:
+            # first append to an empty store: establish the grid (and the
+            # manifest extent the grid is reconstructed from) over this batch
+            extent = Envelope.empty()
+            for rec in usable:
+                extent = extent.union(rec.envelope)
+            grid = build_grid(extent, manifest.grid_rows * manifest.grid_cols)
+            manifest.extent = grid.extent
+            manifest.grid_rows = grid.rows
+            manifest.grid_cols = grid.cols
+
+        if usable:
+            cells = self._assign(usable, grid)
+            packed = pack_partitions(
+                cells, grid, manifest.page_size, self.order, format_version=2
+            )
+        else:
+            packed = PackedPartitions()
+
+        write_seconds = 0.0
+        data_bytes = index_bytes = 0
+        if packed.page_metas:
+            dpaths = delta_paths(self.name, gen_id)
+            header = pack_header(
+                manifest.page_size,
+                len(packed.page_metas),
+                len(packed.record_ids),
+                HEADER_SIZE + sum(len(p) for p in packed.payloads),
+                version=2,
+            )
+            data = (
+                header
+                + b"".join(packed.payloads)
+                + pack_page_directory(packed.page_metas)
+            )
+            tree: STRtree = STRtree(packed.index_entries, node_capacity=self.node_capacity)
+            index_blob = dump_index(tree)
+            write_seconds += self._write(dpaths["data"], data)
+            write_seconds += self._write(dpaths["index"], index_blob)
+            data_bytes, index_bytes = len(data), len(index_blob)
+
+        #: tombstoned ids actually re-stored in this generation (updates and
+        #: resurrections) — alive here, so excluded from the dead set
+        updated_stored = sorted(set(updates) & packed.record_ids)
+        manifest.generations.append(
+            GenerationInfo(
+                gen_id=gen_id,
+                num_pages=len(packed.page_metas),
+                num_records=len(packed.record_ids),
+                num_replicas=packed.num_replicas,
+                extent=packed.data_extent,
+                tombstones=tombstones,
+                updated=updated_stored,
+                partitions=packed.partitions,
+            )
+        )
+
+        # exact live delta: fresh stored ids count once, resurrections of
+        # currently-dead ids count once, updates of live ids net to zero,
+        # and only tombstones that kill a live id decrement
+        fresh_stored = len(packed.record_ids) - len(updated_stored)
+        revived = sum(1 for rid in updated_stored if rid in previously_dead)
+        newly_dead = [
+            rid
+            for rid in tombstones
+            if rid not in previously_dead and rid not in set(updated_stored)
+        ]
+        live = manifest.num_live_records + fresh_stored + revived
+        if self.count_deletes:
+            live -= len(newly_dead)
+        manifest.live_records = max(0, live)
+        manifest.next_record_id = max(ceiling, max(ids) + 1 if ids else ceiling)
+        # generations/tombstones are v2-only features: a legacy v1 manifest
+        # must not keep claiming v1, or an old strict reader would accept it
+        # and silently ignore the generation list
+        manifest.version = MANIFEST_VERSION
+        write_seconds += self._write(
+            self.paths["manifest"], manifest.to_json().encode("utf-8")
+        )
+
+        return AppendResult(
+            manifest=manifest,
+            gen_id=gen_id,
+            num_records=len(packed.record_ids),
+            num_replicas=packed.num_replicas,
+            num_pages=len(packed.page_metas),
+            num_tombstones=len(tombstones),
+            data_bytes=data_bytes,
+            index_bytes=index_bytes,
+            write_seconds=write_seconds,
+        )
+
+    def compact(self, **kwargs) -> CompactionResult:
+        """Merge this store's generations (see :func:`compact_store`)."""
+        result = compact_store(self.fs, self.name, order=self.order,
+                               node_capacity=self.node_capacity, **kwargs)
+        self.manifest = result.manifest
+        return result
+
+
+# --------------------------------------------------------------------------- #
+# compaction
+# --------------------------------------------------------------------------- #
+def compact_store(
+    fs: SimulatedFilesystem,
+    name: str,
+    order: str = "hilbert",
+    node_capacity: int = 16,
+    page_size: Optional[int] = None,
+    num_partitions: Optional[int] = None,
+) -> CompactionResult:
+    """Merge a store's base + delta generations into one SFC-packed v2
+    container.
+
+    The visible records (tombstones applied, newest generation winning) are
+    re-partitioned and re-packed exactly like a fresh bulk load of the same
+    records — logical record ids preserved, the id ceiling carried over so
+    future appends never recycle a deleted id — and the merged delta files
+    are deleted.  Query results are identical before and after; per-query
+    I/O (read requests, pages read) returns to fresh-bulk-load shape.
+    """
+    store_cls = _spatial_datastore()
+    with store_cls.open(fs, name) as store:
+        records = list(store.scan())
+        old_manifest = store.manifest
+    merged = len(old_manifest.generations)
+    ceiling = old_manifest.record_id_ceiling
+    if old_manifest.next_record_id is None:
+        # legacy manifest: num_records undercounts the ceiling when the bulk
+        # load skipped empty geometries — derive it from the scanned ids so
+        # the compacted manifest never pins a value that recycles a live id
+        for rid, _geom in records:
+            ceiling = max(ceiling, rid + 1)
+        for info in old_manifest.generations:
+            ceiling = max(ceiling, max(info.tombstones, default=-1) + 1)
+
+    usable, grid, cells, _skipped, extent = partition_identified(
+        records, num_partitions
+        if num_partitions is not None
+        else old_manifest.grid_rows * old_manifest.grid_cols,
+    )
+    page_size = old_manifest.page_size if page_size is None else page_size
+    packed = pack_partitions(cells, grid, page_size, order, format_version=2)
+    manifest, _paths, data_bytes, index_bytes, write_seconds = write_store_files(
+        fs,
+        name,
+        packed,
+        page_size=page_size,
+        extent=extent,
+        grid_rows=grid.rows,
+        grid_cols=grid.cols,
+        num_records=len(usable),
+        node_capacity=node_capacity,
+        format_version=2,
+        next_record_id=ceiling,
+    )
+    for info in old_manifest.generations:
+        if info.num_pages:
+            for path in delta_paths(name, info.gen_id).values():
+                fs.remove(path)
+
+    return CompactionResult(
+        manifest=manifest,
+        merged_generations=merged,
+        num_records=len(usable),
+        num_pages=len(packed.page_metas),
+        data_bytes=data_bytes,
+        index_bytes=index_bytes,
+        write_seconds=write_seconds,
+    )
+
+
+def _spatial_datastore():
+    # local import: datastore imports the writer this module builds on
+    from .datastore import SpatialDataStore
+
+    return SpatialDataStore
+
+
+def _derive_id_ceiling(fs: SimulatedFilesystem, name: str) -> int:
+    """True id ceiling of a store whose manifest predates ``next_record_id``.
+
+    A legacy bulk load that skipped empty geometries left id holes, so
+    ``num_records`` undercounts the ceiling and a fresh append id could
+    collide with (and silently shadow) a live record.  The ceiling is
+    recovered with a struct-only sweep of the stored record ids — envelope
+    columns / record prefixes, no WKB or pickle decode.
+    """
+    from .format import PageKey
+
+    ceiling = 0
+    store_cls = _spatial_datastore()
+    with store_cls.open(fs, name, cache_pages=16) as store:
+        for gen in store.generations:
+            for start in range(0, len(gen.pages), 16):
+                keys = [
+                    PageKey(gen.gen_id, pid)
+                    for pid in range(start, min(start + 16, len(gen.pages)))
+                ]
+                for page in store._get_pages(keys).values():
+                    for rid in page.record_ids:
+                        ceiling = max(ceiling, rid + 1)
+        for info in store.manifest.generations:
+            ceiling = max(ceiling, max(info.tombstones, default=-1) + 1)
+    return ceiling
+
+
+# --------------------------------------------------------------------------- #
+# sharded appends and compaction
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardedAppendResult:
+    """Summary of one sharded append."""
+
+    manifest: ShardsManifest
+    #: per-shard append summaries (only shards that received a generation)
+    shard_results: Dict[int, AppendResult] = field(default_factory=dict)
+    #: shard id -> number of records routed to it (home-shard routing)
+    routed: Dict[int, int] = field(default_factory=dict)
+    num_records: int = 0
+    num_tombstones: int = 0
+    write_seconds: float = 0.0
+
+
+@dataclass
+class ShardedCompactionResult:
+    """Summary of one sharded compaction."""
+
+    manifest: ShardsManifest
+    merged_generations: int = 0
+    num_records: int = 0
+    write_seconds: float = 0.0
+
+
+class ShardedStoreAppender:
+    """Incremental writer for a sharded store (``shards.json`` routing).
+
+    Every appended record routes to its **home shard**: the shard owning the
+    record's home partition (lowest-numbered global grid cell its MBR
+    overlaps — the same ownership rule serving uses).  The home shard's
+    extent grows to cover the record, so shard-extent routing keeps finding
+    it; no cross-shard replica is written.  A home partition no shard owns
+    yet (a grid cell that was empty at load time) is adopted by the shard
+    owning the nearest preceding partition, keeping ownership contiguous.
+    Tombstones are broadcast to **every** shard, so a deleted or updated
+    record can never resurface from a replica in a non-home shard.
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedFilesystem,
+        name: str,
+        order: str = "hilbert",
+        node_capacity: int = 16,
+    ) -> None:
+        self.fs = fs
+        self.name = name
+        self.order = order
+        self.node_capacity = node_capacity
+        path = shards_path(name)
+        if not fs.exists(path):
+            raise FileNotFoundError(
+                f"sharded store {name!r} is missing {path!r}; "
+                f"run ShardedStoreWriter.load first"
+            )
+        with fs.open(path) as fh:
+            raw = fh.pread(0, fh.size)
+        self.manifest = ShardsManifest.from_json(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    def _adopt_partition(self, home: int, p2s: Dict[int, int]) -> int:
+        """Assign an unowned home partition to the shard owning the nearest
+        preceding partition (shard 0 when none precedes it)."""
+        owned_below = [pid for pid in p2s if pid <= home]
+        sid = p2s[max(owned_below)] if owned_below else self.manifest.shards[0].shard_id
+        shard = self.manifest.shards[sid]
+        shard.partition_ids = sorted(set(shard.partition_ids) | {home})
+        p2s[home] = sid
+        return sid
+
+    def append(
+        self,
+        geometries: Iterable[Geometry] = (),
+        deletes: Iterable[int] = (),
+    ) -> ShardedAppendResult:
+        """Route *geometries* to their home shards as per-shard delta
+        generations and broadcast *deletes* as tombstones to every shard."""
+        geoms = list(geometries)
+        manifest = self.manifest
+        router = ShardRouter(manifest)
+        if manifest.next_record_id is None and manifest.num_records:
+            # legacy shards.json: recover the global ceiling from the shards
+            manifest.next_record_id = max(
+                _derive_id_ceiling(self.fs, shard.store)
+                for shard in manifest.shards
+            )
+        ceiling = manifest.record_id_ceiling
+
+        delete_ids = sorted({int(rid) for rid in deletes})
+        for rid in delete_ids:
+            if rid < 0 or rid >= ceiling:
+                raise ValueError(
+                    f"cannot delete record {rid}: ids run below {ceiling}"
+                )
+
+        ids = list(range(ceiling, ceiling + len(geoms)))
+        usable = [(rid, g) for rid, g in zip(ids, geoms) if not g.envelope.is_empty]
+
+        p2s = manifest.partition_to_shard()
+        per_shard: Dict[int, List[Tuple[int, Geometry]]] = {}
+        for rid, g in usable:
+            home = router.home_partition(g.envelope)
+            sid = p2s.get(home)
+            if sid is None:
+                sid = self._adopt_partition(home, p2s)
+            per_shard.setdefault(sid, []).append((rid, g))
+
+        result = ShardedAppendResult(
+            manifest=manifest,
+            num_records=len(usable),
+            num_tombstones=len(delete_ids),
+        )
+        if not usable and not delete_ids:
+            return result
+
+        previously_dead: Optional[Set[int]] = None
+        for shard in manifest.shards:
+            recs = per_shard.get(shard.shard_id, [])
+            if not recs and not delete_ids:
+                continue
+            appender = StoreAppender(
+                self.fs,
+                shard.store,
+                order=self.order,
+                node_capacity=self.node_capacity,
+                grid=router.grid,
+                allowed_partitions=shard.partition_ids,
+                count_deletes=False,
+                cell_tree=router.cell_tree(),
+            )
+            if previously_dead is None:
+                # tombstones are broadcast, so any one shard's manifest
+                # carries the full historic dead set
+                previously_dead = appender.manifest.dead_records()
+            res = appender.append(
+                [g for _, g in recs],
+                deletes=delete_ids,
+                record_ids=[rid for rid, _ in recs],
+                id_ceiling=ceiling,
+            )
+            result.shard_results[shard.shard_id] = res
+            result.routed[shard.shard_id] = len(recs)
+            result.write_seconds += res.write_seconds
+            if res.gen_id is not None:
+                shard.num_generations += 1
+            shard.num_records += len({rid for rid, _ in recs})
+            shard.num_replicas += res.num_replicas
+            shard.num_pages += res.num_pages
+            for _, g in recs:
+                shard.extent = shard.extent.union(g.envelope)
+
+        if previously_dead is None:
+            previously_dead = set()
+        newly_dead = [rid for rid in delete_ids if rid not in previously_dead]
+        manifest.num_records = max(0, manifest.num_records + len(usable) - len(newly_dead))
+        manifest.next_record_id = ceiling + len(geoms)
+        manifest.version = SHARDS_VERSION  # next_record_id is a v2 feature
+
+        blob = manifest.to_json().encode("utf-8")
+        path = shards_path(self.name)
+        self.fs.create_file(path, blob)
+        result.write_seconds += self.fs.open_time()
+        result.write_seconds += self.fs.write_time(
+            path, [ReadRequest(0, ((0, len(blob)),))]
+        )
+        return result
+
+    def compact(self, **kwargs) -> ShardedCompactionResult:
+        """Compact every shard (see :func:`compact_sharded_store`)."""
+        result = compact_sharded_store(
+            self.fs, self.name, order=self.order,
+            node_capacity=self.node_capacity, **kwargs
+        )
+        self.manifest = result.manifest
+        return result
+
+
+def compact_sharded_store(
+    fs: SimulatedFilesystem,
+    name: str,
+    order: str = "hilbert",
+    node_capacity: int = 16,
+) -> ShardedCompactionResult:
+    """Compact every shard of a sharded store and refresh ``shards.json``.
+
+    Each shard's visible records are re-packed against the **global** grid
+    restricted to the shard's owned partitions (exactly the base load's
+    replication rule), so global partition ids survive; per-shard extents
+    and counts are recomputed from the compacted shards and the global
+    record count from the union of surviving record ids.
+    """
+    path = shards_path(name)
+    with fs.open(path) as fh:
+        raw = fh.pread(0, fh.size)
+    manifest = ShardsManifest.from_json(raw.decode("utf-8"))
+    if manifest.next_record_id is None and manifest.num_records:
+        # legacy shards.json: recover the true global ceiling before it gets
+        # pinned into every compacted shard manifest
+        manifest.next_record_id = max(
+            _derive_id_ceiling(fs, shard.store) for shard in manifest.shards
+        )
+    router = ShardRouter(manifest)
+    grid = router.grid
+    tree = cell_rtree(grid)
+    store_cls = _spatial_datastore()
+
+    merged = 0
+    write_seconds = 0.0
+    all_ids: Set[int] = set()
+    for shard in manifest.shards:
+        with store_cls.open(fs, shard.store) as store:
+            records = list(store.scan())
+            old_manifest = store.manifest
+        merged += len(old_manifest.generations)
+        all_ids.update(rid for rid, _ in records)
+
+        recs = [_Rec(rid, g) for rid, g in records]
+        owned = set(shard.partition_ids)
+        cells = {
+            cid: rs
+            for cid, rs in (assign_to_cells(grid, recs, tree) if recs else {}).items()
+            if cid in owned
+        }
+        assigned = {r.rid for rs in cells.values() for r in rs}
+        missing = [r.rid for r in recs if r.rid not in assigned]
+        if missing:
+            raise StoreError(
+                f"records {missing[:5]} of shard {shard.shard_id} overlap none "
+                f"of its partitions — sharded routing invariant violated"
+            )
+        packed = pack_partitions(cells, grid, manifest.page_size, order, format_version=2)
+        _m, _paths, _db, _ib, shard_ws = write_store_files(
+            fs,
+            shard.store,
+            packed,
+            page_size=manifest.page_size,
+            extent=packed.data_extent,
+            grid_rows=grid.rows,
+            grid_cols=grid.cols,
+            num_records=len(packed.record_ids),
+            node_capacity=node_capacity,
+            format_version=2,
+            next_record_id=manifest.record_id_ceiling,
+        )
+        write_seconds += shard_ws
+        for info in old_manifest.generations:
+            if info.num_pages:
+                for p in delta_paths(shard.store, info.gen_id).values():
+                    fs.remove(p)
+        shard.extent = packed.data_extent
+        shard.num_records = len(packed.record_ids)
+        shard.num_replicas = packed.num_replicas
+        shard.num_pages = len(packed.page_metas)
+        shard.num_generations = 0
+
+    manifest.num_records = len(all_ids)
+    manifest.version = SHARDS_VERSION  # next_record_id is a v2 feature
+    blob = manifest.to_json().encode("utf-8")
+    fs.create_file(path, blob)
+    write_seconds += fs.open_time()
+    write_seconds += fs.write_time(path, [ReadRequest(0, ((0, len(blob)),))])
+
+    return ShardedCompactionResult(
+        manifest=manifest,
+        merged_generations=merged,
+        num_records=len(all_ids),
+        write_seconds=write_seconds,
+    )

@@ -105,6 +105,11 @@ class ShardRouter:
             self._cell_tree = cell_rtree(self.grid)
         return self._cell_tree
 
+    def cell_tree(self) -> RTree:
+        """The cached grid-cell R-tree (shared with append replication so
+        the probe is built once per routing decision chain, not per shard)."""
+        return self._tree()
+
     def overlapping_partitions(self, env: Envelope) -> List[int]:
         """Global partitions the envelope overlaps, via the same probe
         (``assign_to_cells``: cell R-tree, grid-clamp fallback) the bulk

@@ -110,10 +110,10 @@ class IOScheduler:
     range (negative disables merging); ``prefetch_pages`` is the fixed
     readahead depth (ignored under the cost-model policy, which sizes
     readahead from the stripe boundary instead, clamped to
-    ``prefetch_limit`` pages and to the ``cache_capacity`` overflow guard —
-    demand and readahead pages enter the cache together, so readahead past
-    ``cache_capacity - demand`` would evict the very pages the fetch was
-    issued for).
+    ``prefetch_limit`` pages).  The ``cache_capacity`` overflow guard
+    applies under **both** policies — demand and readahead pages enter the
+    cache together, so readahead past ``cache_capacity - demand`` would
+    evict the very pages the fetch was issued for.
     """
 
     def __init__(
@@ -174,16 +174,20 @@ class IOScheduler:
         policy: as many pages as fit between the frontier and the end of the
         stripe holding it (zero when the frontier sits exactly on a stripe
         boundary — the run is already aligned), clamped to
-        ``prefetch_limit`` and to ``cache_capacity`` **minus the fetch's own
-        demand pages** — demand and readahead enter the cache together, so a
-        budget that ignored the demand count would let the readahead evict
-        the very pages the fetch was issued for.
+        ``prefetch_limit``.  **Both** policies clamp to ``cache_capacity``
+        **minus the fetch's own demand pages** — demand and readahead enter
+        the cache together, so a budget that ignored the demand count would
+        let the readahead evict the very pages the fetch was issued for
+        (the fixed policy once skipped this guard, the confirmed PR 5
+        regression).
         """
         if not self.is_cost_aware:
-            return self.prefetch_pages, None
-        stripe = self.layout.stripe_size
-        stripe_end = ((frontier_end + stripe - 1) // stripe) * stripe
-        limit = len(self.pages) if self.prefetch_limit is None else self.prefetch_limit
+            limit = self.prefetch_pages
+            stripe_end = None
+        else:
+            stripe = self.layout.stripe_size
+            stripe_end = ((frontier_end + stripe - 1) // stripe) * stripe
+            limit = len(self.pages) if self.prefetch_limit is None else self.prefetch_limit
         if self.cache_capacity is not None:
             limit = min(limit, self.cache_capacity - num_demand)
         return max(0, limit), stripe_end

@@ -175,6 +175,9 @@ class ShardedStoreWriter:
         usable, grid, cells, skipped, extent = partition_records(
             geometries, self.num_partitions
         )
+        # global id ceiling (ids are positional): recorded in every shard
+        # manifest and in shards.json so appends allocate above it
+        next_record_id = len(usable) + skipped
         counts = [(cid, len(cells[cid])) for cid in sorted(cells)]
         runs = _contiguous_runs(counts, self.num_shards)
 
@@ -200,6 +203,7 @@ class ShardedStoreWriter:
                 num_records=len(packed.record_ids),
                 node_capacity=self.node_capacity,
                 format_version=self.format_version,
+                next_record_id=next_record_id,
             )
             write_seconds += shard_write
             total_replicas += packed.num_replicas
@@ -237,6 +241,7 @@ class ShardedStoreWriter:
             grid_rows=grid.rows,
             grid_cols=grid.cols,
             shards=shard_infos,
+            next_record_id=next_record_id,
         )
         blob = shards_manifest.to_json().encode("utf-8")
         path = shards_path(self.name)
@@ -305,7 +310,7 @@ class DistributedStoreServer:
         cache_pages: int = 64,
         admission: str = "all",
         coalesce_gap: Optional[int] = None,
-        prefetch_pages: int = 0,
+        prefetch_pages: Optional[int] = None,
         io_policy: str = "fixed",
     ) -> None:
         self.comm = comm
@@ -344,11 +349,17 @@ class DistributedStoreServer:
         cache_pages: int = 64,
         admission: str = "all",
         coalesce_gap: Optional[int] = None,
-        prefetch_pages: int = 0,
+        prefetch_pages: Optional[int] = None,
         io_policy: str = "fixed",
     ) -> "DistributedStoreServer":
         """Collectively open a sharded store: rank 0 reads ``shards.json``
-        and broadcasts it, then every rank opens its assigned shards."""
+        and broadcasts it, then every rank opens its assigned shards (delta
+        generations stacked by :class:`~repro.store.mutable.
+        ShardedStoreAppender` included — each shard store opens its own
+        deltas, so distributed serving reads appended data with no extra
+        plumbing).  Serving knobs are forwarded to every shard's
+        :meth:`SpatialDataStore.open` (``prefetch_pages=None`` keeps the
+        policy default, ``0`` disables readahead under both policies)."""
         manifest: Optional[ShardsManifest] = None
         if comm.rank == 0:
             path = shards_path(name)

@@ -39,7 +39,15 @@ from .format import (
 from .index_io import dump_index
 from .manifest import PartitionInfo, StoreManifest, store_paths
 
-__all__ = ["BulkLoadResult", "PackedPartitions", "bulk_load", "pack_partitions", "write_store_files"]
+__all__ = [
+    "BulkLoadResult",
+    "PackedPartitions",
+    "bulk_load",
+    "pack_partitions",
+    "partition_identified",
+    "partition_records",
+    "write_store_files",
+]
 
 
 @dataclass
@@ -195,10 +203,13 @@ def write_store_files(
     num_records: int,
     node_capacity: int = 16,
     format_version: int = VERSION,
+    next_record_id: Optional[int] = None,
 ) -> Tuple[StoreManifest, Dict[str, str], int, int, float]:
     """Persist a packed store as the canonical three-file layout.
 
-    Returns ``(manifest, paths, data_bytes, index_bytes, write_seconds)``.
+    *next_record_id* is the id ceiling recorded for future appends (defaults
+    to *num_records*, correct when ids were assigned densely).  Returns
+    ``(manifest, paths, data_bytes, index_bytes, write_seconds)``.
     """
     paths = store_paths(name)
     header = pack_header(page_size, len(packed.page_metas), num_records,
@@ -218,6 +229,7 @@ def write_store_files(
         grid_rows=grid_rows,
         grid_cols=grid_cols,
         partitions=packed.partitions,
+        next_record_id=next_record_id,
     )
     manifest_bytes = manifest.to_json().encode("utf-8")
 
@@ -235,21 +247,23 @@ def write_store_files(
     return manifest, paths, len(data), len(index_bytes), write_seconds
 
 
-def partition_records(
-    geometries: Iterable[Geometry],
+def partition_identified(
+    records: Iterable[Tuple[int, Geometry]],
     num_partitions: int,
 ) -> Tuple[List["_Rec"], UniformGrid, Dict[int, List["_Rec"]], int, Envelope]:
-    """Front half of a bulk load: wrap, measure and grid-partition records.
+    """Grid-partition ``(record_id, geometry)`` pairs with caller-chosen ids.
 
-    Returns ``(usable, grid, cells, skipped, extent)`` where *cells* maps
-    global grid cell ids to record replicas (the existing grid machinery,
-    replication included).
+    The id-preserving front half of a bulk load: compaction re-packs a
+    mutable store's visible records through this so logical record ids
+    survive the rewrite.  Returns ``(usable, grid, cells, skipped, extent)``
+    where *cells* maps global grid cell ids to record replicas (the existing
+    grid machinery, replication included).
     """
     from ..core.grid_partition import assign_to_cells, build_grid, cell_rtree
 
-    geoms = list(geometries)
-    usable = [_Rec(rid, g) for rid, g in enumerate(geoms) if not g.envelope.is_empty]
-    skipped = len(geoms) - len(usable)
+    pairs = list(records)
+    usable = [_Rec(rid, g) for rid, g in pairs if not g.envelope.is_empty]
+    skipped = len(pairs) - len(usable)
 
     extent = Envelope.empty()
     for rec in usable:
@@ -262,6 +276,21 @@ def partition_records(
         grid = UniformGrid(Envelope(0.0, 0.0, 1.0, 1.0), 1, 1)
         cells = {}
     return usable, grid, cells, skipped, extent
+
+
+def partition_records(
+    geometries: Iterable[Geometry],
+    num_partitions: int,
+) -> Tuple[List["_Rec"], UniformGrid, Dict[int, List["_Rec"]], int, Envelope]:
+    """Front half of a bulk load: wrap, measure and grid-partition records.
+
+    Record ids are assigned by input position (empty geometries keep their
+    position but are skipped).  Returns the same tuple as
+    :func:`partition_identified`.
+    """
+    return partition_identified(
+        ((rid, g) for rid, g in enumerate(geometries)), num_partitions
+    )
 
 
 def bulk_load(
@@ -298,6 +327,8 @@ def bulk_load(
         num_records=len(usable),
         node_capacity=node_capacity,
         format_version=format_version,
+        # ids are positional, so skipped empties leave holes below this
+        next_record_id=len(usable) + skipped,
     )
 
     return BulkLoadResult(

@@ -100,11 +100,17 @@ class TestPlanner:
         assert plan.entries[0].env.as_tuple() == probe.envelope.as_tuple()
 
     def test_candidate_slots_matches_index_query(self, fs, store_name):
+        # candidates are keyed (generation, page); a store with no appended
+        # generation plans everything in the base generation 0
         store = SpatialDataStore.open(fs, store_name)
         env = windows(store.extent, n=1, seed=3)[0]
         by_page = store.engine.planner.candidate_slots(env)
-        refs = {(ref.page_id, ref.slot) for ref in store.index.query(env)}
-        assert {(pid, slot) for pid, slots in by_page.items() for slot in slots} == refs
+        refs = {(0, ref.page_id, ref.slot) for ref in store.index.query(env)}
+        assert {
+            (gen, pid, slot)
+            for (gen, pid), slots in by_page.items()
+            for slot in slots
+        } == refs
 
 
 class TestEngineEqualsBruteForce:

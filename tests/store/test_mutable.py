@@ -1,0 +1,475 @@
+"""Mutable stores: incremental appends, tombstones and compaction.
+
+The acceptance battery of the append/compaction subsystem:
+
+* **equality** — append-then-query == re-bulk-load of the same records ==
+  brute force, on single stores and sharded serving at 1/2/4 ranks;
+* **bit-identical compaction** — record ids, WKB bytes and userdata of every
+  query hit are unchanged by ``compact()``;
+* **tombstones** — deleted records never surface from queries, scans or
+  compacted stores; updates shadow older versions even when the new version
+  moved out of the query window; deleted ids are never recycled.
+"""
+
+import random
+
+import pytest
+
+from repro import mpisim
+from repro.datasets import random_envelopes
+from repro.geometry import Envelope, LineString, Point, Polygon, predicates, wkb
+from repro.pfs import LustreFilesystem
+from repro.store import (
+    DistributedStoreServer,
+    ShardedStoreAppender,
+    SpatialDataStore,
+    StoreAppender,
+    bulk_load,
+    compact_sharded_store,
+    compact_store,
+    delta_paths,
+    sharded_bulk_load,
+)
+
+EXTENT = Envelope(0.0, 0.0, 100.0, 100.0)
+
+
+def make_fs(tmp_path):
+    return LustreFilesystem(tmp_path / "pfs")
+
+
+def random_geometries(count, seed, extent=EXTENT, max_size_fraction=0.08):
+    """A mixed bag of polygons, linestrings and points with integer userdata."""
+    rng = random.Random(seed)
+    out = []
+    for i, env in enumerate(
+        random_envelopes(count, extent=extent, max_size_fraction=max_size_fraction,
+                         seed=seed)
+    ):
+        kind = rng.random()
+        if kind < 0.6:
+            out.append(Polygon.from_envelope(env, userdata=i))
+        elif kind < 0.85:
+            out.append(LineString([(env.minx, env.miny), (env.maxx, env.maxy)],
+                                  userdata=i))
+        else:
+            out.append(Point(env.minx, env.miny, userdata=i))
+    return out
+
+
+def brute_force_ids(visible, window):
+    """Ground truth over ``{record_id: geometry}`` (deletes removed)."""
+    wpoly = Polygon.from_envelope(window)
+    return sorted(
+        rid for rid, g in visible.items() if predicates.intersects(wpoly, g)
+    )
+
+
+def query_ids(store, window):
+    return [h.record_id for h in store.range_query(window)]
+
+
+def hit_fingerprints(store, windows):
+    """Per-window ``(record_id, wkb bytes, userdata)`` triples — the
+    bit-identity key the compaction tests compare."""
+    out = []
+    for env in windows:
+        out.append(
+            [
+                (h.record_id, wkb.dumps(h.geometry), h.geometry.userdata)
+                for h in store.range_query(env)
+            ]
+        )
+    return out
+
+
+def windows(n=12, seed=5, frac=0.2):
+    return list(random_envelopes(n, extent=EXTENT, max_size_fraction=frac, seed=seed))
+
+
+@pytest.fixture
+def fs(tmp_path):
+    return make_fs(tmp_path)
+
+
+# --------------------------------------------------------------------------- #
+# single-store appends
+# --------------------------------------------------------------------------- #
+class TestAppendEquality:
+    def test_append_then_query_equals_rebulk_and_brute(self, fs):
+        geoms = random_geometries(100, seed=11)
+        base, first, second = geoms[:60], geoms[60:80], geoms[80:]
+
+        bulk_load(fs, "mut", base, num_partitions=16, page_size=1024)
+        appender = StoreAppender(fs, "mut")
+        assert appender.append(first).gen_id == 1
+        assert appender.append(second).gen_id == 2
+
+        bulk_load(fs, "mut_rebulk", geoms, num_partitions=16, page_size=1024)
+
+        appended = SpatialDataStore.open(fs, "mut", cache_pages=256)
+        rebulk = SpatialDataStore.open(fs, "mut_rebulk", cache_pages=256)
+        visible = dict(enumerate(geoms))
+        assert appended.num_generations == 2
+        assert len(appended) == len(geoms)
+        for env in windows(seed=13):
+            want = brute_force_ids(visible, env)
+            assert query_ids(appended, env) == want
+            assert query_ids(rebulk, env) == want
+
+    def test_scan_round_trips_across_generations(self, fs):
+        geoms = random_geometries(50, seed=17)
+        bulk_load(fs, "mut_scan", geoms[:30], num_partitions=8, page_size=1024)
+        StoreAppender(fs, "mut_scan").append(geoms[30:])
+        store = SpatialDataStore.open(fs, "mut_scan", cache_pages=64)
+        scanned = dict(store.scan())
+        assert sorted(scanned) == list(range(len(geoms)))
+        for rid, geom in scanned.items():
+            assert wkb.dumps(geom) == wkb.dumps(geoms[rid])
+            assert geom.userdata == geoms[rid].userdata
+
+    def test_append_outside_original_extent_is_found(self, fs):
+        bulk_load(fs, "mut_out", random_geometries(30, seed=19),
+                  num_partitions=8, page_size=1024)
+        far = Point(250.0, 250.0, userdata="far")
+        res = StoreAppender(fs, "mut_out").append([far])
+        assert res.num_records == 1
+        store = SpatialDataStore.open(fs, "mut_out")
+        hits = store.range_query(Envelope(240.0, 240.0, 260.0, 260.0))
+        assert [h.record_id for h in hits] == [30]
+        assert hits[0].generation == 1
+        assert 30 in dict(store.scan())
+
+    def test_append_to_empty_store(self, fs):
+        bulk_load(fs, "mut_empty", [], num_partitions=8)
+        geoms = random_geometries(20, seed=23)
+        StoreAppender(fs, "mut_empty").append(geoms)
+        store = SpatialDataStore.open(fs, "mut_empty")
+        assert len(store) == len(geoms)
+        visible = dict(enumerate(geoms))
+        for env in windows(n=6, seed=29):
+            assert query_ids(store, env) == brute_force_ids(visible, env)
+
+    def test_empty_geometries_consume_ids_like_bulk_load(self, fs):
+        from repro.geometry import MultiPoint
+
+        bulk_load(fs, "mut_holes", [Point(1.0, 1.0)], num_partitions=4)
+        res = StoreAppender(fs, "mut_holes").append([MultiPoint([]), Point(2.0, 2.0)])
+        assert res.num_records == 1  # the empty geometry stored nothing
+        store = SpatialDataStore.open(fs, "mut_holes")
+        assert sorted(dict(store.scan())) == [0, 2]  # id 1 is a hole
+        assert store.manifest.record_id_ceiling == 3
+
+    def test_noop_append_creates_no_generation(self, fs):
+        bulk_load(fs, "mut_noop", [Point(0.0, 0.0)], num_partitions=4)
+        res = StoreAppender(fs, "mut_noop").append([])
+        assert res.gen_id is None
+        assert SpatialDataStore.open(fs, "mut_noop").num_generations == 0
+
+
+class TestTombstones:
+    def _loaded(self, fs, name, count=60, seed=31):
+        geoms = random_geometries(count, seed=seed)
+        bulk_load(fs, name, geoms, num_partitions=16, page_size=1024)
+        return geoms
+
+    def test_deleted_records_never_surface(self, fs):
+        geoms = self._loaded(fs, "del")
+        dead = [3, 17, 41]
+        res = StoreAppender(fs, "del").append(deletes=dead)
+        assert res.gen_id == 1 and res.num_pages == 0  # tombstone-only
+        store = SpatialDataStore.open(fs, "del", cache_pages=256)
+        assert len(store) == len(geoms) - len(dead)
+        visible = {rid: g for rid, g in enumerate(geoms) if rid not in dead}
+        for env in windows(seed=37):
+            assert query_ids(store, env) == brute_force_ids(visible, env)
+        assert set(dead).isdisjoint(dict(store.scan()))
+
+    def test_update_shadows_even_outside_the_window(self, fs):
+        # the critical shadowing case: the updated version moves away, so
+        # the query window only selects the *old* version's slot — the
+        # tombstone, not the candidate set, must hide it
+        geoms = self._loaded(fs, "upd")
+        victim = 7
+        old_env = geoms[victim].envelope
+        moved = Point(400.0, 400.0, userdata="moved")
+        StoreAppender(fs, "upd").append([moved], record_ids=[victim])
+        store = SpatialDataStore.open(fs, "upd", cache_pages=256)
+        assert len(store) == len(geoms)  # update, not delete
+        near_old = [h for h in store.range_query(old_env.buffer(0.1))
+                    if h.record_id == victim]
+        assert near_old == []
+        new_hits = store.range_query(Envelope(399.0, 399.0, 401.0, 401.0))
+        assert [(h.record_id, h.geometry.userdata) for h in new_hits] == [
+            (victim, "moved")
+        ]
+        assert dict(store.scan())[victim].userdata == "moved"
+
+    def test_delete_then_reappend_resurrects_under_same_id(self, fs):
+        self._loaded(fs, "res")
+        appender = StoreAppender(fs, "res")
+        appender.append(deletes=[5])
+        assert 5 not in dict(SpatialDataStore.open(fs, "res").scan())
+        appender.append([Point(50.0, 50.0, userdata="back")], record_ids=[5])
+        store = SpatialDataStore.open(fs, "res")
+        assert dict(store.scan())[5].userdata == "back"
+        assert len(store) == 60
+
+    def test_delete_validates_against_id_ceiling(self, fs):
+        self._loaded(fs, "delv")
+        with pytest.raises(ValueError, match="delete"):
+            StoreAppender(fs, "delv").append(deletes=[60])
+
+    def test_live_count_stays_exact_under_repeated_updates(self, fs):
+        # regression: updating an already-updated record (or deleting a
+        # previously-updated one) used to drift len(store) away from the
+        # number of visible records, permanently until compaction
+        geoms = self._loaded(fs, "drift")
+        appender = StoreAppender(fs, "drift")
+        appender.append([Point(1.0, 1.0, userdata="v2")], record_ids=[3])
+        appender.append([Point(2.0, 2.0, userdata="v3")], record_ids=[3])
+        store = SpatialDataStore.open(fs, "drift")
+        assert len(store) == len(dict(store.scan())) == len(geoms)
+        appender.append(deletes=[3])
+        store = SpatialDataStore.open(fs, "drift")
+        assert len(store) == len(dict(store.scan())) == len(geoms) - 1
+        # deleting it again is a no-op for the count
+        appender.append(deletes=[3])
+        assert len(SpatialDataStore.open(fs, "drift")) == len(geoms) - 1
+
+    def test_legacy_manifest_without_ceiling_never_collides_ids(self, fs):
+        # regression: a pre-mutable manifest (no next_record_id) whose bulk
+        # load skipped empty geometries undercounts the ceiling via
+        # num_records; the appender must derive the true ceiling instead of
+        # assigning an id that silently shadows a live record
+        import json
+
+        from repro.geometry import MultiPoint
+        from repro.store import store_paths
+
+        bulk_load(fs, "legacy", [Point(0.0, 0.0), Point(1.0, 1.0),
+                                 MultiPoint([]), Point(3.0, 3.0, userdata="keep")],
+                  num_partitions=4)
+        path = store_paths("legacy")["manifest"]
+        doc = json.loads(fs.open(path).pread(0, fs.file_size(path)).decode())
+        del doc["next_record_id"]  # simulate the legacy layout
+        doc["version"] = 1
+        fs.create_file(path, json.dumps(doc).encode())
+
+        res = StoreAppender(fs, "legacy").append([Point(9.0, 9.0, userdata="new")])
+        store = SpatialDataStore.open(fs, "legacy")
+        scanned = dict(store.scan())
+        assert scanned[3].userdata == "keep"  # the live record survived
+        assert scanned[4].userdata == "new"   # the append got a fresh id
+        assert res.manifest.record_id_ceiling == 5
+        # the rewrite claims v2: generations/tombstones are v2-only features,
+        # so a strict v1 reader must reject the document, not silently
+        # ignore the generation list
+        assert store.manifest.version == 2
+
+    def test_legacy_manifest_compaction_derives_ceiling_too(self, fs):
+        # regression: compact_store used to trust record_id_ceiling, which
+        # falls back to num_records on legacy manifests with id holes — it
+        # then *persisted* the too-low value, so a later append recycled a
+        # live id and silently shadowed the record
+        import json
+
+        from repro.geometry import MultiPoint
+        from repro.store import store_paths
+
+        bulk_load(fs, "legacy_cmp", [Point(0.0, 0.0), MultiPoint([]),
+                                     Point(2.0, 2.0, userdata="keep")],
+                  num_partitions=4)
+        path = store_paths("legacy_cmp")["manifest"]
+        doc = json.loads(fs.open(path).pread(0, fs.file_size(path)).decode())
+        del doc["next_record_id"]
+        doc["version"] = 1
+        fs.create_file(path, json.dumps(doc).encode())
+
+        compact_store(fs, "legacy_cmp")
+        res = StoreAppender(fs, "legacy_cmp").append([Point(9.0, 9.0, userdata="new")])
+        store = SpatialDataStore.open(fs, "legacy_cmp")
+        scanned = dict(store.scan())
+        assert scanned[2].userdata == "keep"
+        assert scanned[3].userdata == "new"
+        assert res.manifest.record_id_ceiling == 4
+
+    def test_fresh_ids_never_recycle_deleted_ones(self, fs):
+        self._loaded(fs, "rec")
+        appender = StoreAppender(fs, "rec")
+        appender.append(deletes=[59])
+        res = appender.append([Point(1.0, 1.0)])
+        store = SpatialDataStore.open(fs, "rec")
+        new_ids = {h.record_id for h in store.range_query(Envelope(0.9, 0.9, 1.1, 1.1))}
+        assert 60 in new_ids and 59 not in dict(store.scan())
+        assert res.manifest.record_id_ceiling == 61
+
+
+class TestCompaction:
+    def _mutated(self, fs, name, seed=43):
+        geoms = random_geometries(80, seed=seed)
+        bulk_load(fs, name, geoms[:50], num_partitions=16, page_size=1024)
+        appender = StoreAppender(fs, name)
+        appender.append(geoms[50:65])
+        appender.append(geoms[65:], deletes=[2, 11])
+        appender.append([Point(90.0, 90.0, userdata="upd")], record_ids=[20])
+        visible = {rid: g for rid, g in enumerate(geoms) if rid not in (2, 11)}
+        visible[20] = Point(90.0, 90.0, userdata="upd")
+        return geoms, visible
+
+    def test_results_bit_identical_before_and_after(self, fs):
+        _, visible = self._mutated(fs, "cmp")
+        envs = windows(seed=47)
+        before_store = SpatialDataStore.open(fs, "cmp", cache_pages=256)
+        before = hit_fingerprints(before_store, envs)
+        assert before_store.num_generations == 3
+        before_store.close()
+
+        result = compact_store(fs, "cmp")
+        assert result.merged_generations == 3
+        after_store = SpatialDataStore.open(fs, "cmp", cache_pages=256)
+        assert after_store.num_generations == 0
+        after = hit_fingerprints(after_store, envs)
+        assert after == before
+        for env in envs:
+            assert [h[0] for h in before[envs.index(env)]] == brute_force_ids(visible, env)
+
+    def test_tombstoned_records_never_resurface_after_compaction(self, fs):
+        self._mutated(fs, "cmp_dead")
+        compact_store(fs, "cmp_dead")
+        store = SpatialDataStore.open(fs, "cmp_dead", cache_pages=256)
+        scanned = dict(store.scan())
+        assert 2 not in scanned and 11 not in scanned
+        assert scanned[20].userdata == "upd"
+        assert store.range_query(store.extent, exact=False)
+        assert not any(
+            h.record_id in (2, 11)
+            for h in store.range_query(store.extent, exact=False)
+        )
+
+    def test_compaction_removes_delta_files_and_preserves_ceiling(self, fs):
+        self._mutated(fs, "cmp_files")
+        for gen_id in (1, 2, 3):
+            assert fs.exists(delta_paths("cmp_files", gen_id)["data"])
+        compact_store(fs, "cmp_files")
+        for gen_id in (1, 2, 3):
+            for path in delta_paths("cmp_files", gen_id).values():
+                assert not fs.exists(path)
+        store = SpatialDataStore.open(fs, "cmp_files")
+        assert store.manifest.generations == []
+        # deleted ids stay retired after the rewrite
+        assert store.manifest.record_id_ceiling == 80
+        res = StoreAppender(fs, "cmp_files").append([Point(1.0, 1.0)])
+        assert res.manifest.record_id_ceiling == 81
+
+    def test_compacted_equals_fresh_bulk_load_shape(self, fs):
+        # compaction re-runs the bulk-load pack over the visible records, so
+        # per-query I/O (pages read, read requests) matches a fresh load
+        geoms, visible = self._mutated(fs, "cmp_shape")
+        compact_store(fs, "cmp_shape")
+        fresh_records = sorted(visible.items())
+        # a fresh store of the same records (ids preserved via placeholder
+        # holes is impractical here, so compare I/O counters, not ids)
+        envs = windows(n=8, seed=53)
+        compacted = SpatialDataStore.open(fs, "cmp_shape", cache_pages=256)
+        for env in envs:
+            assert query_ids(compacted, env) == brute_force_ids(visible, env)
+        stats = compacted.stats
+        assert stats.pages_read <= compacted.num_pages
+        assert compacted.total_pages == compacted.num_pages  # no deltas left
+
+
+# --------------------------------------------------------------------------- #
+# sharded appends and compaction
+# --------------------------------------------------------------------------- #
+class TestShardedAppend:
+    NPROCS = (1, 2, 4)
+
+    def _build(self, fs, name, num_shards=4):
+        geoms = random_geometries(80, seed=61)
+        sharded_bulk_load(fs, name, geoms[:50], num_shards=num_shards,
+                          num_partitions=16, page_size=1024)
+        appender = ShardedStoreAppender(fs, name)
+        r1 = appender.append(geoms[50:65])
+        r2 = appender.append(geoms[65:], deletes=[4, 33])
+        visible = {rid: g for rid, g in enumerate(geoms) if rid not in (4, 33)}
+        return geoms, visible, (r1, r2)
+
+    def _serve(self, fs, name, queries, nprocs):
+        def prog(comm):
+            with DistributedStoreServer.open(comm, fs, name, cache_pages=64) as server:
+                return server.range_query_batch(queries if comm.rank == 0 else None)
+
+        return mpisim.run_spmd(prog, nprocs).values[0]
+
+    @pytest.mark.parametrize("nprocs", NPROCS)
+    def test_sharded_append_equals_single_equals_brute(self, fs, nprocs):
+        geoms, visible, _ = self._build(fs, "smut")
+        # the same mutations applied to a single store
+        bulk_load(fs, "smut_single", geoms[:50], num_partitions=16, page_size=1024)
+        single_app = StoreAppender(fs, "smut_single")
+        single_app.append(geoms[50:65])
+        single_app.append(geoms[65:], deletes=[4, 33])
+        single = SpatialDataStore.open(fs, "smut_single", cache_pages=256)
+
+        envs = windows(n=8, seed=67)
+        queries = [(i, env) for i, env in enumerate(envs)]
+        hits = self._serve(fs, "smut", queries, nprocs)
+        sharded_ids = [[] for _ in envs]
+        for h in hits:
+            sharded_ids[h.query_id].append(h.record_id)
+        for i, env in enumerate(envs):
+            want = brute_force_ids(visible, env)
+            assert sorted(sharded_ids[i]) == want
+            assert query_ids(single, env) == want
+
+    def test_appends_route_to_home_shards(self, fs):
+        _, _, (r1, r2) = self._build(fs, "smut_route")
+        assert sum(r1.routed.values()) == r1.num_records == 15
+        manifest = ShardedStoreAppender(fs, "smut_route").manifest
+        assert manifest.record_id_ceiling == 80
+        # every shard that received records carries generations; tombstones
+        # were broadcast to all shards (deletes in r2)
+        for shard in manifest.shards:
+            grew = (r1.routed.get(shard.shard_id, 0)
+                    + r2.routed.get(shard.shard_id, 0)) > 0
+            if grew:
+                assert shard.num_generations >= 1
+            store = SpatialDataStore.open(fs, shard.store)
+            assert store._tombstone_gen.keys() >= {4, 33}
+
+    @pytest.mark.parametrize("nprocs", NPROCS)
+    def test_sharded_compaction_is_transparent(self, fs, nprocs):
+        _, visible, _ = self._build(fs, "smut_cmp")
+        envs = windows(n=8, seed=71)
+        queries = [(i, env) for i, env in enumerate(envs)]
+        before = self._serve(fs, "smut_cmp", queries, nprocs)
+        result = compact_sharded_store(fs, "smut_cmp")
+        assert result.merged_generations > 0
+        assert result.num_records == len(visible)
+        after = self._serve(fs, "smut_cmp", queries, nprocs)
+        key = lambda hits: sorted(
+            (h.query_id, h.record_id, wkb.dumps(h.geometry)) for h in hits
+        )
+        assert key(after) == key(before)
+        for shard in ShardedStoreAppender(fs, "smut_cmp").manifest.shards:
+            assert shard.num_generations == 0
+        assert not any(
+            h.record_id in (4, 33) for h in after
+        )
+
+    def test_local_records_exactly_once_with_appends(self, fs):
+        _, visible, _ = self._build(fs, "smut_own")
+
+        def prog(comm):
+            with DistributedStoreServer.open(comm, fs, "smut_own") as server:
+                return [rid for rid, _ in server.local_records()]
+
+        res = mpisim.run_spmd(prog, 4)
+        combined = [rid for ids in res.values for rid in ids]
+        assert sorted(combined) == sorted(visible)  # no dup, no loss
+
+    def test_sharded_delete_validates_ceiling(self, fs):
+        self._build(fs, "smut_val")
+        with pytest.raises(ValueError, match="delete"):
+            ShardedStoreAppender(fs, "smut_val").append(deletes=[80])

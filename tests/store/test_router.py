@@ -59,7 +59,7 @@ class TestShardsManifest:
             ShardsManifest.from_json("{}")
         with pytest.raises(ValueError):
             ShardsManifest.from_json("not json at all")
-        doc = make_manifest().to_json().replace('"version": 1', '"version": 99')
+        doc = make_manifest().to_json().replace('"version": 2', '"version": 99')
         with pytest.raises(ValueError, match="version"):
             ShardsManifest.from_json(doc)
 

@@ -217,6 +217,67 @@ class TestCostModelPolicy:
         assert sched.runs[-1].offset + sched.runs[-1].nbytes == last.offset + last.nbytes
 
 
+class TestCacheGuardBothPolicies:
+    """Regression battery for the cache-overflow guard: under **either**
+    policy a fetch's readahead may never exceed ``cache_capacity - demand``,
+    or it would evict the very demand pages the fetch was issued for.  The
+    fixed policy once ignored the guard entirely (the confirmed PR 5 bug:
+    ``prefetch_pages=8`` into a capacity-2 cache evicted its own demand
+    pages)."""
+
+    def _scheduler(self, policy, pages, cache_capacity, depth=8):
+        if policy == "fixed":
+            return IOScheduler(pages, gap=0, prefetch_pages=depth,
+                               cache_capacity=cache_capacity)
+        return IOScheduler.cost_aware(
+            pages,
+            StripeLayout(stripe_size=1 << 20, stripe_count=2),
+            IOCostModel(),
+            gap=0,
+            prefetch_limit=depth,
+            cache_capacity=cache_capacity,
+        )
+
+    @pytest.mark.parametrize("policy", ["fixed", "cost_model"])
+    def test_readahead_never_exceeds_capacity_minus_demand(self, policy):
+        pages = make_pages([100] * 40)
+        for capacity in (1, 2, 4, 8):
+            for demand in ([0], [0, 1], [0, 1, 2], list(range(6))):
+                sched = self._scheduler(policy, pages, capacity).schedule(demand)
+                assert sched.num_prefetched <= max(0, capacity - len(demand)), (
+                    f"{policy}: {sched.num_prefetched} prefetched with "
+                    f"capacity {capacity} and {len(demand)} demand pages"
+                )
+
+    def test_confirmed_repro_fixed_policy_capacity_two(self):
+        # the exact repro from the issue: 8 pages of readahead into a
+        # capacity-2 cache with 2 demand pages must be clamped to zero
+        pages = make_pages([100] * 12)
+        sched = IOScheduler(pages, gap=0, prefetch_pages=8,
+                            cache_capacity=2).schedule([0, 1])
+        assert sched.num_prefetched == 0
+        assert sched.runs[-1].page_ids == (0, 1)
+
+    def test_fixed_policy_partial_budget(self):
+        pages = make_pages([100] * 12)
+        sched = IOScheduler(pages, gap=0, prefetch_pages=8,
+                            cache_capacity=6).schedule([0, 1])
+        assert sched.num_prefetched == 4  # 6 - 2 demand
+
+    def test_fixed_policy_unclamped_without_capacity(self):
+        # schedulers built without a cache (capacity unknown) keep the
+        # legacy behaviour: the constant depth alone
+        pages = make_pages([100] * 12)
+        sched = IOScheduler(pages, gap=0, prefetch_pages=8).schedule([0, 1])
+        assert sched.num_prefetched == 8
+
+    def test_demand_above_capacity_never_goes_negative(self):
+        pages = make_pages([100] * 12)
+        sched = IOScheduler(pages, gap=0, prefetch_pages=8,
+                            cache_capacity=2).schedule([0, 1, 2, 3])
+        assert sched.num_prefetched == 0
+
+
 class TestScheduledRun:
     def test_demand_ids_excludes_prefetch(self):
         run = ScheduledRun(page_ids=(3, 4, 5, 6), offset=0, nbytes=400, num_prefetched=2)

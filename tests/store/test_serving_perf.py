@@ -276,6 +276,99 @@ class TestAdmissionPolicy:
             SpatialDataStore.open(fs, lakes_v2, admission="sometimes")
 
 
+class TestServingKnobRegressions:
+    """PR 5 serving-knob bugfix sweep, end to end through the store."""
+
+    @pytest.mark.parametrize("policy", ["fixed", "cost_model"])
+    def test_prefetch_zero_disables_readahead_under_both_policies(
+        self, fs, lakes_v2, policy
+    ):
+        # prefetch_pages=0 used to mean "off" under "fixed" but "uncapped
+        # stripe readahead" under "cost_model"; 0 now means off everywhere
+        store = SpatialDataStore.open(fs, lakes_v2, cache_pages=256,
+                                      io_policy=policy, prefetch_pages=0)
+        store.range_query(store.extent, exact=False)
+        for env in windows(store, n=6, seed=59):
+            store.range_query(env, exact=False)
+        assert store.stats.pages_prefetched == 0
+
+    def test_prefetch_default_keeps_policy_defaults(self, fs, lakes_v2):
+        # None (the default) still means: no readahead under "fixed",
+        # stripe-derived readahead under "cost_model"
+        fixed = SpatialDataStore.open(fs, lakes_v2, cache_pages=256)
+        assert fixed.scheduler.prefetch_pages == 0
+        cost = SpatialDataStore.open(fs, lakes_v2, cache_pages=256,
+                                     io_policy="cost_model")
+        schedule = cost.scheduler.schedule([0], is_cached=lambda p: False)
+        assert schedule.num_prefetched > 0  # stripe readahead engaged
+
+    @pytest.mark.parametrize("policy", ["fixed", "cost_model"])
+    def test_readahead_cannot_evict_own_demand_pages(self, fs, lakes_v2, policy):
+        # the confirmed scheduler bug, observed at store level: with a tiny
+        # cache and a large fixed depth, the fetch's readahead used to evict
+        # the fetch's own demand pages, so an identical warm repeat re-read
+        # them; now the repeat is free whenever the working set fits
+        store = SpatialDataStore.open(fs, lakes_v2, cache_pages=4,
+                                      io_policy=policy, prefetch_pages=8)
+        env = windows(store, n=1, seed=67, frac=0.03)[0]
+        first = [h.record_id for h in store.range_query(env)]
+        cold_reads = store.stats.pages_read
+        if cold_reads <= 4:  # the working set fits: the repeat must be free
+            second = [h.record_id for h in store.range_query(env)]
+            assert second == first
+            assert store.stats.pages_read == cold_reads
+
+    def test_bulk_load_forwards_serving_knobs(self, fs, lakes):
+        # load-and-serve used to reopen with defaults, dropping every knob
+        store, result = SpatialDataStore.bulk_load(
+            fs,
+            "serving_klb",
+            lakes,
+            cache_pages=256,
+            admission="no_scan",
+            io_policy="cost_model",
+            prefetch_pages=0,
+            num_partitions=8,
+            page_size=2048,
+        )
+        assert store.admission == "no_scan"
+        assert store.io_policy == "cost_model"
+        assert store.scheduler.is_cost_aware
+        assert result.num_pages == store.num_pages
+        # the cost-model gap is far wider than one page, so a full sweep
+        # actually coalesces (the observable proof the knob arrived)
+        assert store.coalesce_gap > store.manifest.page_size
+        store.range_query(store.extent, exact=False)
+        assert store.stats.read_requests < store.stats.pages_read
+        assert store.stats.pages_prefetched == 0  # the explicit 0 arrived too
+
+    def test_bulk_load_explicit_coalesce_gap_forwarded(self, fs, lakes):
+        store, _ = SpatialDataStore.bulk_load(
+            fs, "serving_klb_gap", lakes, coalesce_gap=-1,
+            num_partitions=8, page_size=2048,
+        )
+        store.range_query(store.extent, exact=False)
+        assert store.stats.read_requests == store.stats.pages_read
+
+    def test_scan_streams_in_bounded_page_runs(self, fs, lakes, lakes_v2):
+        # the scan used to materialise every page image in one dict; it now
+        # fetches at most one cache capacity's worth of pages per run
+        store = SpatialDataStore.open(fs, lakes_v2, cache_pages=8)
+        assert store.num_pages > 8  # the bound is actually exercised
+        fetches = []
+        original = store._fetch_missing
+
+        def spy(missing, admit):
+            fetches.append(len(missing))
+            return original(missing, admit)
+
+        store._fetch_missing = spy
+        scanned = dict(store.scan())
+        store._fetch_missing = original
+        assert len(scanned) == len(lakes)
+        assert fetches and max(fetches) <= 8
+
+
 class TestFormatCompatibility:
     @pytest.fixture(scope="class")
     def v1_name(self, fs, lakes):

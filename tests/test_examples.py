@@ -60,6 +60,14 @@ def test_async_serving_reports_identical_results_and_throughput():
     assert "async W=4" in proc.stdout
 
 
+def test_append_compact_reports_identical_results():
+    proc = run_example("append_compact.py")
+    assert proc.returncode == 0, f"append_compact.py failed:\n{proc.stderr}"
+    assert "delta generations" in proc.stdout
+    assert "compaction merged 3 generations" in proc.stdout
+    assert "results identical before and after compaction" in proc.stdout
+
+
 def test_quickstart_output_mentions_polygons():
     proc = run_example("quickstart.py")
     assert "polygons" in proc.stdout
