@@ -18,8 +18,8 @@ from repro.pfs import ClusterConfig, GPFSFilesystem, LustreFilesystem
 
 #: snapshot file recording this PR's benchmark results (the perf trajectory
 #: of the repo: bump the name each PR so history accumulates in git)
-BENCH_SNAPSHOT = pathlib.Path(__file__).parent / "BENCH_PR5.json"
-SNAPSHOT_TAG = "PR5"
+BENCH_SNAPSHOT = pathlib.Path(__file__).parent / "BENCH_PR6.json"
+SNAPSHOT_TAG = "PR6"
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -50,6 +50,14 @@ def pytest_sessionfinish(session, exitstatus):
         extra = getattr(bench, "extra_info", None)
         if extra:
             row["extra_info"] = dict(extra)
+            # lift latency-distribution summaries out of histogram-shaped
+            # extra_info entries so the snapshot rows pin tail latency
+            # (p50/p95/p99), not just the wall-clock aggregates above
+            for key, value in extra.items():
+                if isinstance(value, dict) and value.get("type") == "histogram":
+                    for pct in ("p50", "p95", "p99"):
+                        if pct in value:
+                            row[f"{key}_{pct}"] = value[pct]
         rows.append(row)
     rows.sort(key=lambda r: (r.get("group") or "", r.get("name") or ""))
     BENCH_SNAPSHOT.write_text(

@@ -53,6 +53,26 @@ class Communicator:
         # guarantees it stays identical across members, which makes derived
         # communicator ids deterministic without extra communication.
         self._derived_count = 0
+        # optional observability sink (attach_metrics); None-checked per
+        # operation so an unobserved communicator pays one branch
+        self._metrics = None
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def attach_metrics(self, registry) -> None:
+        """Mirror this rank's communication into *registry* counters:
+        ``comm.messages`` / ``comm.bytes_sent`` for point-to-point sends and
+        ``comm.collectives`` / ``comm.bytes_collective`` for collective
+        participation (own contribution).  Counters are
+        per-rank absolutes, so cross-rank aggregation through
+        :meth:`repro.obs.metrics.MetricsRegistry.aggregate` stays
+        idempotent."""
+        self._metrics = registry
+
+    def detach_metrics(self) -> None:
+        self._metrics = None
+
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -89,6 +109,9 @@ class Communicator:
         if not (0 <= dest < self.size):
             raise MPIError(f"invalid destination rank {dest}")
         nbytes = payload_nbytes(obj)
+        if self._metrics is not None:
+            self._metrics.counter("comm.messages").inc()
+            self._metrics.counter("comm.bytes_sent").inc(nbytes)
         cost = self.cost_model.transfer_time(nbytes)
         send_clock = self.clock
         # The sender pays the injection latency; the payload lands at the
@@ -153,6 +176,9 @@ class Communicator:
     def _exchange(self, value: Any, nbytes: int, cost_fn: Callable[[int, int], float]) -> List[Any]:
         """Gather ``(entry_time, value)`` from every rank, synchronise clocks
         and charge ``cost_fn(max_bytes, size)`` to everyone."""
+        if self._metrics is not None:
+            self._metrics.counter("comm.collectives").inc()
+            self._metrics.counter("comm.bytes_collective").inc(nbytes)
         entry = (self.clock.now, nbytes, value)
         gathered = self._engine.exchange(self.rank, entry)
         max_entry = max(t for t, _, _ in gathered)

@@ -10,8 +10,9 @@ benchmark assert on them.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Callable, Dict, Generic, Iterator, Optional, TypeVar
+
+from ..obs.metrics import MetricsRegistry
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -19,16 +20,60 @@ V = TypeVar("V")
 __all__ = ["CacheStats", "LRUPageCache"]
 
 
-@dataclass
 class CacheStats:
-    """Counters accumulated by an :class:`LRUPageCache`."""
+    """Counters accumulated by an :class:`LRUPageCache`.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    #: loads the admission policy kept out of the cache (e.g. full scans)
-    admission_rejects: int = 0
+    Since PR 6 this is a facade over a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``cache.*`` counters), so
+    cache counters merge and aggregate like every other metric; the
+    attribute surface (``stats.hits += 1``, ``as_dict()``, ``reset()``) is
+    unchanged from the original dataclass.
+    """
 
+    __slots__ = ("registry", "_hits", "_misses", "_evictions", "_rejects")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter("cache.hits")
+        self._misses = self.registry.counter("cache.misses")
+        self._evictions = self.registry.counter("cache.evictions")
+        #: loads the admission policy kept out of the cache (e.g. full scans)
+        self._rejects = self.registry.counter("cache.admission_rejects")
+
+    # counter facades ---------------------------------------------------- #
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.value = value
+
+    @property
+    def admission_rejects(self) -> int:
+        return self._rejects.value
+
+    @admission_rejects.setter
+    def admission_rejects(self, value: int) -> None:
+        self._rejects.value = value
+
+    # derived views ------------------------------------------------------ #
     @property
     def accesses(self) -> int:
         return self.hits + self.misses
@@ -51,6 +96,12 @@ class CacheStats:
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = self.admission_rejects = 0
 
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, admission_rejects={self.admission_rejects})"
+        )
+
 
 class LRUPageCache(Generic[K, V]):
     """Bounded mapping with least-recently-used eviction.
@@ -61,11 +112,13 @@ class LRUPageCache(Generic[K, V]):
     (every access is a miss), which is how the benchmark models a cold run.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, stats: Optional[CacheStats] = None) -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be >= 0")
         self.capacity = capacity
-        self.stats = CacheStats()
+        #: pass a pre-built :class:`CacheStats` to account this cache inside
+        #: an existing metrics registry (the store does)
+        self.stats = stats if stats is not None else CacheStats()
         self._entries: "OrderedDict[K, V]" = OrderedDict()
 
     # ------------------------------------------------------------------ #

@@ -23,11 +23,14 @@ reproduction; the accumulated simulated seconds are exposed via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..geometry import Envelope, Geometry, predicates
 from ..index import STRtree
+from ..obs.explain import ExplainReport, build_store_explain
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..pfs import FileHandle, ReadRequest, SimulatedFilesystem
 from .cache import CacheStats, LRUPageCache
 from .engine import StoreEngine
@@ -107,7 +110,6 @@ class Generation:
     handle: Optional[FileHandle] = None
 
 
-@dataclass
 class StoreStats:
     """Cumulative serving statistics of one open store.
 
@@ -119,19 +121,38 @@ class StoreStats:
     every touched page.  ``read_requests`` counts coalesced read ranges
     issued to the filesystem, which is why it can be far below
     ``pages_read``.
+
+    Since PR 6 this is a facade over ``store.*`` counters in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (the store's own registry,
+    shared with its :class:`~repro.store.cache.CacheStats`), so store
+    counters snapshot / merge / aggregate like every other metric while
+    every existing ``stats.pages_read += n`` call site keeps working.
     """
 
-    pages_read: int = 0
-    bytes_read: int = 0
-    records_decoded: int = 0
-    queries: int = 0
-    #: coalesced read ranges issued (each covers one run of adjacent pages)
-    read_requests: int = 0
-    #: pages read ahead of demand by the sequential readahead
-    pages_prefetched: int = 0
-    #: simulated seconds charged by the filesystem cost model (open + reads)
-    io_seconds: float = 0.0
-    cache: CacheStats = field(default_factory=CacheStats)
+    _COUNTERS = (
+        "pages_read",
+        "bytes_read",
+        "records_decoded",
+        "queries",
+        #: coalesced read ranges issued (each covers one run of adjacent pages)
+        "read_requests",
+        #: pages read ahead of demand by the sequential readahead
+        "pages_prefetched",
+        #: simulated seconds charged by the filesystem cost model (open + reads)
+        "io_seconds",
+    )
+
+    __slots__ = ("registry", "cache") + tuple(f"_{n}" for n in _COUNTERS)
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        cache: Optional[CacheStats] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in self._COUNTERS:
+            setattr(self, f"_{name}", self.registry.counter(f"store.{name}"))
+        self.cache = cache if cache is not None else CacheStats(self.registry)
 
     def as_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {
@@ -145,6 +166,45 @@ class StoreStats:
         }
         out.update({f"cache_{k}": v for k, v in self.cache.as_dict().items()})
         return out
+
+    def reset(self) -> None:
+        """Zero every counter, cache counters included."""
+        for name in self._COUNTERS:
+            getattr(self, f"_{name}").value = 0
+        self.cache.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(f"{n}={getattr(self, n):g}" for n in self._COUNTERS)
+        return f"StoreStats({inner})"
+
+
+def _stats_counter_property(name: str) -> property:
+    """Int-typed facade over one ``store.*`` counter (``+=`` keeps working)."""
+    attr = f"_{name}"
+
+    def fget(self: StoreStats) -> int:
+        return int(getattr(self, attr).value)
+
+    def fset(self: StoreStats, value: float) -> None:
+        getattr(self, attr).value = value
+
+    return property(fget, fset)
+
+
+for _name in StoreStats._COUNTERS:
+    if _name == "io_seconds":
+        # the one float-valued counter: do not truncate simulated seconds
+        setattr(
+            StoreStats,
+            _name,
+            property(
+                lambda self: self._io_seconds.value,
+                lambda self, value: setattr(self._io_seconds, "value", value),
+            ),
+        )
+    else:
+        setattr(StoreStats, _name, _stats_counter_property(_name))
+del _name
 
 
 class SpatialDataStore:
@@ -171,6 +231,8 @@ class SpatialDataStore:
         prefetch_pages: Optional[int] = None,
         io_policy: str = "fixed",
         deltas: Sequence[Tuple[GenerationInfo, List[PageMeta], STRtree, int]] = (),
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if admission not in ADMISSION_POLICIES:
             raise ValueError(
@@ -189,9 +251,17 @@ class SpatialDataStore:
         self.io_policy = io_policy
         self.prefetch_pages = prefetch_pages
         self.paths = store_paths(name)
-        self.stats = StoreStats()
-        self._cache: LRUPageCache[PageKey, CachedPage] = LRUPageCache(cache_pages)
-        self.stats.cache = self._cache.stats
+        #: the store's metrics namespace (``store.*`` / ``cache.*`` counters,
+        #: per-partition heat) — one registry per store so two stores never
+        #: share a counter; pass a shared registry explicitly to pool them
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: span recorder for the staged engine; :data:`NULL_TRACER` (zero
+        #: overhead) unless a recording tracer is injected
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = StoreStats(self.metrics)
+        self._cache: LRUPageCache[PageKey, CachedPage] = LRUPageCache(
+            cache_pages, stats=self.stats.cache
+        )
         self._cache_pages = cache_pages
         self._coalesce_gap = coalesce_gap
 
@@ -305,6 +375,8 @@ class SpatialDataStore:
         coalesce_gap: Optional[int] = None,
         prefetch_pages: Optional[int] = None,
         io_policy: str = "fixed",
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "SpatialDataStore":
         """Open a persisted store: manifest + page directory + packed index
         (for the base container and for every delta generation stacked by
@@ -324,6 +396,11 @@ class SpatialDataStore:
         *prefetch_pages* caps the derived readahead depth, and readahead is
         always clamped so a fetch cannot evict its own demand pages from
         the cache.
+
+        *tracer* (a :class:`~repro.obs.trace.Tracer`; default the zero-cost
+        null tracer) records query spans; *metrics* supplies an external
+        :class:`~repro.obs.metrics.MetricsRegistry` to account this store
+        in (default: a private registry, exposed as ``store.metrics``).
         """
         paths = store_paths(name)
         for key in ("data", "index", "manifest"):
@@ -413,6 +490,8 @@ class SpatialDataStore:
             prefetch_pages=prefetch_pages,
             io_policy=io_policy,
             deltas=deltas,
+            tracer=tracer,
+            metrics=metrics,
         )
         store.stats.io_seconds = io_seconds
         return store
@@ -428,6 +507,8 @@ class SpatialDataStore:
         coalesce_gap: Optional[int] = None,
         prefetch_pages: Optional[int] = None,
         io_policy: str = "fixed",
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
         **options,
     ) -> Tuple["SpatialDataStore", BulkLoadResult]:
         """Write the store files and open the result (load + serve in one go).
@@ -445,6 +526,8 @@ class SpatialDataStore:
             coalesce_gap=coalesce_gap,
             prefetch_pages=prefetch_pages,
             io_policy=io_policy,
+            tracer=tracer,
+            metrics=metrics,
         )
         return store, result
 
@@ -496,6 +579,13 @@ class SpatialDataStore:
             f"{self.num_generations} delta generations on {self.fs.describe()})"
         )
 
+    def reset_stats(self) -> None:
+        """Zero every serving counter — store stats *and* cache stats (they
+        share one registry), so a benchmark can measure a warm phase without
+        the cold phase's totals bleeding in.  The cache *contents* are kept;
+        use ``_cache.clear()`` to drop those too."""
+        self.stats.reset()
+
     # ------------------------------------------------------------------ #
     # page access (through the cache, with coalesced I/O)
     # ------------------------------------------------------------------ #
@@ -523,6 +613,7 @@ class SpatialDataStore:
         for key in missing:
             by_gen.setdefault(key.generation, []).append(key.page_id)
 
+        tracer = self.tracer
         out: Dict[PageKey, CachedPage] = {}
         for gen_id in sorted(by_gen):
             gen = self.generations[gen_id]
@@ -536,20 +627,23 @@ class SpatialDataStore:
                 allow_prefetch=admit,
             )
 
-            for run in schedule.runs:
-                buf = gen.handle.pread(run.offset, run.nbytes)
-                if len(buf) != run.nbytes:
-                    raise StoreFormatError(
-                        f"pages {run.page_ids[0]}..{run.page_ids[-1]} of "
-                        f"generation {gen_id} of store {self.name!r} are "
-                        f"truncated: got {len(buf)} of {run.nbytes} bytes"
-                    )
-                for pid in run.page_ids:
-                    meta = gen.pages[pid]
-                    payload = buf[meta.offset - run.offset : meta.offset - run.offset + meta.nbytes]
-                    out[PageKey(gen_id, pid)] = CachedPage(
-                        pid, payload, gen.version, on_decode=self._on_decode
-                    )
+            if tracer.enabled:
+                for run in schedule.runs:
+                    with tracer.span(
+                        "io",
+                        generation=gen_id,
+                        pages=list(run.page_ids),
+                        num_pages=len(run.page_ids),
+                        nbytes=run.nbytes,
+                        prefetched=run.num_prefetched,
+                        policy=self.io_policy,
+                        gap=gen.scheduler.gap,
+                        prefetch_stop=schedule.prefetch_stop,
+                    ):
+                        self._read_run(gen, gen_id, run, out)
+            else:
+                for run in schedule.runs:
+                    self._read_run(gen, gen_id, run, out)
 
             self.stats.io_seconds += self.fs.read_time(
                 gen.data_path, [schedule.read_request()]
@@ -561,6 +655,28 @@ class SpatialDataStore:
         for key, page in out.items():
             self._cache.put(key, page, admit=admit)
         return out
+
+    def _read_run(
+        self,
+        gen: Generation,
+        gen_id: int,
+        run,
+        out: Dict[PageKey, CachedPage],
+    ) -> None:
+        """Read one coalesced run and slice its payloads into *out*."""
+        buf = gen.handle.pread(run.offset, run.nbytes)
+        if len(buf) != run.nbytes:
+            raise StoreFormatError(
+                f"pages {run.page_ids[0]}..{run.page_ids[-1]} of "
+                f"generation {gen_id} of store {self.name!r} are "
+                f"truncated: got {len(buf)} of {run.nbytes} bytes"
+            )
+        for pid in run.page_ids:
+            meta = gen.pages[pid]
+            payload = buf[meta.offset - run.offset : meta.offset - run.offset + meta.nbytes]
+            out[PageKey(gen_id, pid)] = CachedPage(
+                pid, payload, gen.version, on_decode=self._on_decode
+            )
 
     @staticmethod
     def _page_key(key: Union[PageKey, Tuple[int, int], int]) -> PageKey:
@@ -577,17 +693,38 @@ class SpatialDataStore:
         dict holds strong references keyed by :class:`PageKey`, so the
         caller can evaluate against every page even when the cache is
         smaller than the working set."""
-        out: Dict[PageKey, CachedPage] = {}
-        missing: List[PageKey] = []
-        for key in sorted({self._page_key(k) for k in page_ids}):
-            page = self._cache.get(key)
-            if page is None:
-                missing.append(key)
-            else:
-                out[key] = page
-        if missing:
-            out.update(self._fetch_missing(missing, admit))
-        return out
+        tracer = self.tracer
+        if not tracer.enabled:
+            out: Dict[PageKey, CachedPage] = {}
+            missing: List[PageKey] = []
+            for key in sorted({self._page_key(k) for k in page_ids}):
+                page = self._cache.get(key)
+                if page is None:
+                    missing.append(key)
+                else:
+                    out[key] = page
+            if missing:
+                out.update(self._fetch_missing(missing, admit))
+            return out
+        # traced path: one "schedule" span per resolution (its "io" children
+        # are the coalesced runs the misses turned into)
+        with tracer.span("schedule") as span:
+            out = {}
+            missing = []
+            for key in sorted({self._page_key(k) for k in page_ids}):
+                page = self._cache.get(key)
+                if page is None:
+                    missing.append(key)
+                else:
+                    out[key] = page
+            span.set(
+                requested=len(out) + len(missing),
+                cache_hits=len(out),
+                cache_misses=len(missing),
+            )
+            if missing:
+                out.update(self._fetch_missing(missing, admit))
+            return out
 
     # ------------------------------------------------------------------ #
     # queries (all routed through the staged engine)
@@ -654,6 +791,41 @@ class SpatialDataStore:
                 if predicate(probe, hit.geometry):
                     pairs.append((probe, hit))
         return pairs
+
+    def explain(
+        self, window: Union[Envelope, Geometry], exact: bool = True
+    ) -> ExplainReport:
+        """EXPLAIN-by-executing: run ``range_query(window, exact)`` under a
+        recording tracer and report where it spent its effort.
+
+        The report is assembled from the recorded span hierarchy plus the
+        :class:`StoreStats` movement of the run, so
+        ``report.stats_delta["records_decoded"]`` (and every other counter)
+        is exactly what the query charged — the stats **do** move: EXPLAIN
+        executes the query for real, against the real cache state.  The
+        store's own tracer is restored afterwards, whatever it was.
+        """
+        tracer = Tracer(
+            clock=getattr(self.tracer, "clock", None),
+            rank=getattr(self.tracer, "rank", 0),
+        )
+        saved = self.tracer
+        before = self.stats.as_dict()
+        self.tracer = tracer
+        try:
+            hits = self.range_query(window, exact=exact)
+        finally:
+            self.tracer = saved
+        return build_store_explain(
+            kind="range_query",
+            window=str(window),
+            exact=exact,
+            num_hits=len(hits),
+            spans=tracer.spans,
+            stats_before=before,
+            stats_after=self.stats.as_dict(),
+            partitions_total=len(self.manifest.partitions),
+        )
 
     def scan(self) -> Iterator[Tuple[int, Geometry]]:
         """Every *visible* logical record exactly once (round-trip checks).

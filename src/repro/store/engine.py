@@ -207,6 +207,71 @@ class RefineExecutor:
         hits.sort(key=lambda h: h.record_id)
         return hits
 
+    def refine_traced(
+        self,
+        entry: PlanEntry,
+        pages: Dict[PageKey, CachedPage],
+        exact: bool,
+        tracer,
+        stats,
+    ) -> List["QueryHit"]:
+        """:meth:`refine` with a per-entry ``decode`` span accounting every
+        skip/drop/shortcut decision.  ``records_decoded`` on the span is the
+        :class:`~repro.store.datastore.StoreStats` movement of this entry
+        (charged through the lazy-decode callback), so EXPLAIN's refine
+        section can never disagree with the stats delta.  Kept as a separate
+        method so the untraced :meth:`refine` hot loop carries zero
+        bookkeeping.
+        """
+        from .datastore import QueryHit
+
+        refine_geom: Optional[Geometry] = None
+        rect_window: Optional[Envelope] = None
+        if exact:
+            if entry.geom is None:
+                refine_geom, rect_window = Polygon.from_envelope(entry.env), entry.env
+            else:
+                refine_geom = entry.geom
+
+        hits: List[QueryHit] = []
+        seen: set = set()
+        replicas_skipped = tombstone_drops = rect_shortcuts = 0
+        decoded_before = stats.records_decoded
+        with tracer.span("decode", query_id=entry.query_id) as span:
+            for key in sorted(entry.by_page, key=lambda k: (-k[0], k[1])):
+                page = pages[key]
+                partition_id = self._partition_of_page.get(key, -1)
+                generation, page_id = key
+                for slot in entry.by_page[key]:
+                    record_id = page.record_ids[slot]
+                    if record_id in seen:
+                        replicas_skipped += 1
+                        continue
+                    if self._tombstone_gen.get(record_id, -1) > generation:
+                        tombstone_drops += 1
+                        continue
+                    seen.add(record_id)
+                    _, geom = page.record(slot)
+                    if refine_geom is not None:
+                        slot_env = page.envelope(slot) if rect_window is not None else None
+                        contained = slot_env is not None and rect_window.contains(slot_env)
+                        if contained:
+                            rect_shortcuts += 1
+                        elif not predicates.intersects(refine_geom, geom):
+                            continue
+                    hits.append(
+                        QueryHit(record_id, geom, partition_id, page_id, generation)
+                    )
+            hits.sort(key=lambda h: h.record_id)
+            span.set(
+                replicas_skipped=replicas_skipped,
+                tombstone_drops=tombstone_drops,
+                records_decoded=stats.records_decoded - decoded_before,
+                rect_shortcuts=rect_shortcuts,
+                num_hits=len(hits),
+            )
+        return hits
+
 
 class StoreEngine:
     """Plan → schedule → refine over one open :class:`SpatialDataStore`.
@@ -226,10 +291,33 @@ class StoreEngine:
         self.executor = RefineExecutor(
             store._partition_of_page, store._tombstone_gen
         )
+        #: partition id -> cached heat Counter handle (see :meth:`_record_heat`)
+        self._heat: Dict[int, Any] = {}
 
     @property
     def scheduler(self):
         return self.store.scheduler
+
+    # ------------------------------------------------------------------ #
+    def _record_heat(self, plan: QueryPlan) -> None:
+        """Charge per-partition query-heat counters: each planned query
+        increments ``store.partition_heat{partition=p}`` once per partition
+        it touches.  This runs on **both** execute paths (heat is a metric,
+        not a trace), is the input a skew-aware rebalancer needs, and caches
+        the Counter handles so the steady-state cost is one dict hit per
+        (query, partition) pair.
+        """
+        heat = self._heat
+        metrics = self.store.metrics
+        part_of = self.store._partition_of_page
+        for entry in plan.entries:
+            for part in {part_of.get(key, -1) for key in entry.by_page}:
+                counter = heat.get(part)
+                if counter is None:
+                    counter = heat[part] = metrics.counter(
+                        "store.partition_heat", partition=part
+                    )
+                counter.inc()
 
     # ------------------------------------------------------------------ #
     def execute(
@@ -244,12 +332,28 @@ class StoreEngine:
         can actually hold it; otherwise each query fetches its own pages
         (still coalesced per query) so memory stays bounded by one query's
         working set.
+
+        Dispatches to one of two bodies: :meth:`_execute_traced` when the
+        store's tracer is recording, or :meth:`_execute_untraced` — the
+        stage loop exactly as it stood before tracing existed — so the
+        tracing-disabled hot path pays one attribute read and one branch,
+        nothing else (the ≤2 % no-op overhead budget the benchmark pins).
         """
+        if self.store.tracer.enabled:
+            return self._execute_traced(queries, exact)
+        return self._execute_untraced(queries, exact)
+
+    def _execute_untraced(
+        self,
+        queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
+        exact: bool = True,
+    ) -> List[List["QueryHit"]]:
         queries = list(queries)
         results: List[List["QueryHit"]] = [[] for _ in queries]
         plan = self.planner.plan(queries)
         if not plan.entries:
             return results
+        self._record_heat(plan)
 
         held: Dict[int, CachedPage] = {}
         touched = plan.touched_pages
@@ -260,4 +364,65 @@ class StoreEngine:
             entry = plan.entries[j]
             pages = held if held else self.store._get_pages(entry.by_page)
             results[entry.position] = self.executor.refine(entry, pages, exact)
+        return results
+
+    def _execute_traced(
+        self,
+        queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
+        exact: bool = True,
+    ) -> List[List["QueryHit"]]:
+        """The same stage loop wrapped in the span hierarchy
+        ``query → plan → schedule → io → refine → decode`` (schedule/io
+        spans come from the store's page-fetch path, decode spans from
+        :meth:`RefineExecutor.refine_traced`)."""
+        tracer = self.store.tracer
+        queries = list(queries)
+        results: List[List["QueryHit"]] = [[] for _ in queries]
+        with tracer.span("query", num_queries=len(queries), exact=exact) as qspan:
+            with tracer.span("plan") as pspan:
+                plan = self.planner.plan(queries)
+                if plan.entries:
+                    self._record_heat(plan)
+                part_of = self.store._partition_of_page
+                partitions = {
+                    part_of.get(key, -1)
+                    for entry in plan.entries
+                    for key in entry.by_page
+                }
+                candidates = 0
+                by_generation: Dict[int, int] = {}
+                for entry in plan.entries:
+                    for key, slots in entry.by_page.items():
+                        candidates += len(slots)
+                        by_generation[key.generation] = (
+                            by_generation.get(key.generation, 0) + len(slots)
+                        )
+                pspan.set(
+                    entries=len(plan.entries),
+                    touched_pages=len(plan.touched_pages),
+                    partitions_visited=len(partitions),
+                    candidates=candidates,
+                    candidates_by_generation=by_generation,
+                    generations=len(by_generation),
+                )
+            if not plan.entries:
+                qspan.set(num_hits=0)
+                return results
+
+            held: Dict[int, CachedPage] = {}
+            touched = plan.touched_pages
+            if 0 < len(touched) <= self.store._cache.capacity:
+                held = self.store._get_pages(touched)
+
+            num_hits = 0
+            with tracer.span("refine", candidates=candidates) as rspan:
+                for j in plan.visit_order:
+                    entry = plan.entries[j]
+                    pages = held if held else self.store._get_pages(entry.by_page)
+                    results[entry.position] = self.executor.refine_traced(
+                        entry, pages, exact, tracer, self.store.stats
+                    )
+                    num_hits += len(results[entry.position])
+                rspan.set(num_hits=num_hits)
+            qspan.set(num_hits=num_hits)
         return results

@@ -30,10 +30,12 @@ per-shard store engines and the record-id de-dup.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..geometry import Envelope
+from ..obs.metrics import Histogram
 from .sharded import DistributedHit, DistributedStoreServer
 
 __all__ = ["AsyncStoreFrontend", "BatchMetrics", "FrontendResult"]
@@ -93,7 +95,18 @@ class FrontendResult:
             return 0.0
         return sum(m.latency for m in self.metrics) / len(self.metrics)
 
+    def latency_histogram(self) -> Histogram:
+        """Per-batch latencies as a mergeable log2
+        :class:`~repro.obs.metrics.Histogram` (the registry currency — the
+        same shape the server's ``frontend.batch_latency_seconds`` metric
+        accumulates)."""
+        hist = Histogram()
+        for m in self.metrics:
+            hist.record(m.latency)
+        return hist
+
     def summary(self) -> Dict[str, float]:
+        hist = self.latency_histogram()
         return {
             "num_batches": float(self.num_batches),
             "total_queries": float(self.total_queries),
@@ -101,6 +114,9 @@ class FrontendResult:
             "batches_per_second": self.batches_per_second,
             "queries_per_second": self.queries_per_second,
             "mean_latency_seconds": self.mean_latency,
+            "latency_p50_seconds": hist.percentile(50),
+            "latency_p95_seconds": hist.percentile(95),
+            "latency_p99_seconds": hist.percentile(99),
             "max_in_flight": float(self.max_in_flight),
         }
 
@@ -133,16 +149,37 @@ class AsyncStoreFrontend:
     def _data_tag(batch_id: int) -> int:
         return _TAG_BASE + 2 * batch_id + 1
 
-    def _serve_local(self, entries: List[Tuple[int, Any, Envelope]], exact: bool):
+    def _serve_local(
+        self,
+        entries: List[Tuple[int, Any, Envelope]],
+        exact: bool,
+        ctx: Any = None,
+        batch_id: Optional[int] = None,
+    ) -> List[Any]:
         """One rank's local-query phase: through the shard stores' engines,
         simulated store I/O charged to the virtual clock and the phase
-        accumulated in the server's breakdown."""
+        accumulated in the server's breakdown.  With a recording tracer the
+        phase gets a ``local_query`` span; a *ctx* shipped with the plan
+        (serving ranks) re-parents it under the root's trace, exactly like
+        the collective path."""
         server = self.server
+        tracer = server.tracer
         clock = server.comm.clock
         since = clock.now
         io_before = server._store_io_seconds()
-        with clock.compute(category="local_query"):
-            rows = server._local_query(entries, exact)
+        with ExitStack() as stack:
+            if tracer.enabled and ctx is not None and server.comm.rank != 0:
+                stack.enter_context(tracer.adopt(ctx))
+            span = stack.enter_context(tracer.span("local_query"))
+            with clock.compute(category="local_query"):
+                rows = server._local_query(entries, exact)
+            if tracer.enabled:
+                span.set(
+                    rank=server.comm.rank,
+                    batch=batch_id,
+                    entries=len(entries),
+                    rows=len(rows),
+                )
         clock.advance(server._store_io_seconds() - io_before, category="io")
         server._charge_phase("local_query", since)
         return rows
@@ -172,9 +209,9 @@ class AsyncStoreFrontend:
         else:
             for b in range(num_batches):
                 t = clock.now
-                entries = comm.recv(source=0, tag=self._plan_tag(b))
+                ctx, entries = comm.recv(source=0, tag=self._plan_tag(b))
                 t = self.server._charge_phase("scatter", t)
-                rows = self._serve_local(entries, exact)
+                rows = self._serve_local(entries, exact, ctx=ctx, batch_id=b)
                 t = clock.now
                 comm.send(rows, dest=0, tag=self._data_tag(b))
                 self.server._charge_phase("gather", t)
@@ -196,6 +233,8 @@ class AsyncStoreFrontend:
         comm = self.server.comm
         clock = comm.clock
         server = self.server
+        tracer = server.tracer
+        latency_hist = server.metrics.histogram("frontend.batch_latency_seconds")
 
         results: List[List[DistributedHit]] = [[] for _ in range(num_batches)]
         metrics: List[Optional[BatchMetrics]] = [None] * num_batches
@@ -204,12 +243,15 @@ class AsyncStoreFrontend:
 
         def complete_oldest() -> None:
             batch_id, own_entries, submitted = in_flight.popleft()
-            rows = self._serve_local(own_entries, exact)
+            rows = self._serve_local(own_entries, exact, batch_id=batch_id)
             t = clock.now
             for rank in range(1, comm.size):
                 rows.extend(comm.recv(source=rank, tag=self._data_tag(batch_id)))
-            with clock.compute(category="gather"):
-                hits = server._dedup(rows)
+            with tracer.span("gather") as gspan:
+                with clock.compute(category="gather"):
+                    hits = server._dedup(rows)
+                if tracer.enabled:
+                    gspan.set(batch=batch_id, rows=len(rows))
             server._charge_phase("gather", t)
             results[batch_id] = hits
             metrics[batch_id] = BatchMetrics(
@@ -219,22 +261,44 @@ class AsyncStoreFrontend:
                 submitted=submitted,
                 completed=clock.now,
             )
+            latency_hist.record(metrics[batch_id].latency)
 
-        for b in range(num_batches):
-            while len(in_flight) >= self.max_in_flight:
+        with ExitStack() as stack:
+            if tracer.enabled:
+                # one trace for the whole pipelined call: every batch's
+                # route/gather and every rank's local_query nest under it
+                tracer.new_trace()
+                stack.enter_context(
+                    tracer.span(
+                        "query", phase="frontend", num_batches=num_batches
+                    )
+                )
+            for b in range(num_batches):
+                while len(in_flight) >= self.max_in_flight:
+                    complete_oldest()
+                submitted = clock.now
+                queries = list(batches[b])
+                server.queries_served += len(queries)
+                with tracer.span("route") as rspan:
+                    with clock.compute(category="route"):
+                        plan = server.router.plan(
+                            queries, server.assignment, comm.size
+                        )
+                    if tracer.enabled:
+                        rspan.set(batch=b, num_queries=len(queries))
+                t = server._charge_phase("route", submitted)
+                ctx = tracer.context() if tracer.enabled else None
+                with tracer.span("scatter") as sspan:
+                    for rank in range(1, comm.size):
+                        comm.send(
+                            (ctx, plan[rank]), dest=rank, tag=self._plan_tag(b)
+                        )
+                    if tracer.enabled:
+                        sspan.set(batch=b)
+                server._charge_phase("scatter", t)
+                in_flight.append((b, plan[0], submitted))
+            while in_flight:
                 complete_oldest()
-            submitted = clock.now
-            queries = list(batches[b])
-            server.queries_served += len(queries)
-            with clock.compute(category="route"):
-                plan = server.router.plan(queries, server.assignment, comm.size)
-            t = server._charge_phase("route", submitted)
-            for rank in range(1, comm.size):
-                comm.send(plan[rank], dest=rank, tag=self._plan_tag(b))
-            server._charge_phase("scatter", t)
-            in_flight.append((b, plan[0], submitted))
-        while in_flight:
-            complete_oldest()
 
         return FrontendResult(
             batches=results,
@@ -263,6 +327,7 @@ class AsyncStoreFrontend:
 
         results: List[List[DistributedHit]] = []
         metrics: List[BatchMetrics] = []
+        latency_hist = self.server.metrics.histogram("frontend.batch_latency_seconds")
         for b in range(num_batches):
             submitted = clock.now
             batch = list(batches[b]) if comm.rank == 0 else None
@@ -278,6 +343,7 @@ class AsyncStoreFrontend:
                         completed=clock.now,
                     )
                 )
+                latency_hist.record(metrics[-1].latency)
 
         end = clock.now
         spans = comm.allgather((start, end))

@@ -42,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..core.grid_partition import assign_to_cells, build_grid, cell_rtree
 from ..geometry import Envelope, Geometry
 from ..index import STRtree, UniformGrid
+from ..obs.trace import NULL_TRACER
 from ..pfs import ReadRequest, SimulatedFilesystem
 from .format import HEADER_SIZE, StoreError, pack_header, pack_page_directory
 from .index_io import dump_index
@@ -135,11 +136,15 @@ class StoreAppender:
         allowed_partitions: Optional[Iterable[int]] = None,
         count_deletes: bool = True,
         cell_tree=None,
+        tracer=None,
     ) -> None:
         self.fs = fs
         self.name = name
         self.order = order
         self.node_capacity = node_capacity
+        #: optional span recorder: append/compact phases show up on the same
+        #: timeline as the serving spans when a shared tracer is injected
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.paths = store_paths(name)
         self._grid_override = grid
         self._cell_tree = cell_tree
@@ -215,6 +220,27 @@ class StoreAppender:
         *id_ceiling* overrides the validation/allocation ceiling (the
         sharded appender supplies the global one).
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._append_impl(geometries, deletes, record_ids, id_ceiling)
+        with tracer.span("append", store=self.name) as span:
+            result = self._append_impl(geometries, deletes, record_ids, id_ceiling)
+            span.set(
+                gen_id=result.gen_id,
+                records=result.num_records,
+                tombstones=result.num_tombstones,
+                pages=result.num_pages,
+                data_bytes=result.data_bytes,
+            )
+            return result
+
+    def _append_impl(
+        self,
+        geometries: Iterable[Geometry] = (),
+        deletes: Iterable[int] = (),
+        record_ids: Optional[Sequence[int]] = None,
+        id_ceiling: Optional[int] = None,
+    ) -> AppendResult:
         geoms = list(geometries)
         manifest = self.manifest
         if id_ceiling is None and manifest.next_record_id is None and (
@@ -354,6 +380,7 @@ class StoreAppender:
 
     def compact(self, **kwargs) -> CompactionResult:
         """Merge this store's generations (see :func:`compact_store`)."""
+        kwargs.setdefault("tracer", self.tracer)
         result = compact_store(self.fs, self.name, order=self.order,
                                node_capacity=self.node_capacity, **kwargs)
         self.manifest = result.manifest
@@ -370,6 +397,7 @@ def compact_store(
     node_capacity: int = 16,
     page_size: Optional[int] = None,
     num_partitions: Optional[int] = None,
+    tracer=None,
 ) -> CompactionResult:
     """Merge a store's base + delta generations into one SFC-packed v2
     container.
@@ -381,6 +409,23 @@ def compact_store(
     are deleted.  Query results are identical before and after; per-query
     I/O (read requests, pages read) returns to fresh-bulk-load shape.
     """
+    if tracer is not None and tracer.enabled:
+        with tracer.span("compact", store=name) as span:
+            result = compact_store(
+                fs,
+                name,
+                order=order,
+                node_capacity=node_capacity,
+                page_size=page_size,
+                num_partitions=num_partitions,
+            )
+            span.set(
+                merged_generations=result.merged_generations,
+                records=result.num_records,
+                pages=result.num_pages,
+                data_bytes=result.data_bytes,
+            )
+            return result
     store_cls = _spatial_datastore()
     with store_cls.open(fs, name) as store:
         records = list(store.scan())

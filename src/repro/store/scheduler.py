@@ -77,9 +77,19 @@ class ScheduledRun:
 
 @dataclass
 class IOSchedule:
-    """The scheduler's output: the coalesced runs of one fetch."""
+    """The scheduler's output: the coalesced runs of one fetch.
+
+    ``prefetch_stop`` records **why** readahead ended where it did — the
+    EXPLAIN report surfaces it verbatim: ``"disabled"`` (caller forbade
+    prefetch), ``"empty"`` (nothing missing, no frontier to extend),
+    ``"budget"`` (policy page budget exhausted, including a zero budget),
+    ``"container_end"`` (next page would be past the last payload page),
+    ``"cached_page"`` (next page already cached) or ``"stripe_boundary"``
+    (cost-model policy: next page crosses the stripe holding the frontier).
+    """
 
     runs: List[ScheduledRun]
+    prefetch_stop: str = "disabled"
 
     @property
     def ranges(self) -> Tuple[Tuple[int, int], ...]:
@@ -216,19 +226,28 @@ class IOScheduler:
             runs.append([pid])
 
         prefetched = 0
-        if allow_prefetch and runs:
+        stop = "disabled"
+        if not runs:
+            stop = "disabled" if not allow_prefetch else "empty"
+        elif allow_prefetch:
             frontier = self.pages[runs[-1][-1]]
             max_pages, byte_ceiling = self._readahead_budget(
                 frontier.offset + frontier.nbytes, len(missing)
             )
             nxt = runs[-1][-1] + 1
-            while (
-                prefetched < max_pages
-                and nxt < len(self.pages)
-                and not is_cached(nxt)
-            ):
+            while True:
+                if prefetched >= max_pages:
+                    stop = "budget"
+                    break
+                if nxt >= len(self.pages):
+                    stop = "container_end"
+                    break
+                if is_cached(nxt):
+                    stop = "cached_page"
+                    break
                 meta = self.pages[nxt]
                 if byte_ceiling is not None and meta.offset + meta.nbytes > byte_ceiling:
+                    stop = "stripe_boundary"
                     break
                 runs[-1].append(nxt)
                 prefetched += 1
@@ -245,4 +264,4 @@ class IOScheduler:
                     num_prefetched=prefetched if i == len(runs) - 1 else 0,
                 )
             )
-        return IOSchedule(scheduled)
+        return IOSchedule(scheduled, prefetch_stop=stop)

@@ -25,12 +25,15 @@ from __future__ import annotations
 
 import pickle
 import struct
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..geometry import Envelope, Geometry, predicates
 from ..mpisim import Communicator
+from ..obs.explain import DistributedExplainReport, build_distributed_explain
+from ..obs.metrics import MetricsRegistry, merge_snapshots
+from ..obs.trace import NULL_TRACER, Tracer
 from ..pfs import ReadRequest, SimulatedFilesystem
 from .datastore import QueryHit, SpatialDataStore
 from .format import VERSION, StoreError, StoreFormatError
@@ -312,6 +315,8 @@ class DistributedStoreServer:
         coalesce_gap: Optional[int] = None,
         prefetch_pages: Optional[int] = None,
         io_policy: str = "fixed",
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.comm = comm
         self.fs = fs
@@ -321,6 +326,14 @@ class DistributedStoreServer:
         self.my_shards = sorted(
             sid for sid, rank in self.assignment.items() if rank == comm.rank
         )
+        #: this rank's span recorder (:data:`~repro.obs.trace.NULL_TRACER`
+        #: unless one is injected); shard stores share it, so engine spans
+        #: nest under the serving phases
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: server-level metrics (per-shard query heat etc.) — distinct from
+        #: the per-store registries, merged by :meth:`aggregate_metrics`
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._shard_heat: Dict[int, Any] = {}
         self.stores: Dict[int, SpatialDataStore] = {}
         #: cumulative per-phase simulated seconds on this rank
         self.phases: Dict[str, float] = {name: 0.0 for name in SERVING_PHASES}
@@ -336,6 +349,7 @@ class DistributedStoreServer:
                     coalesce_gap=coalesce_gap,
                     prefetch_pages=prefetch_pages,
                     io_policy=io_policy,
+                    tracer=self.tracer,
                 )
             self.comm.clock.advance(self.stores[sid].stats.io_seconds, category="io")
 
@@ -351,6 +365,8 @@ class DistributedStoreServer:
         coalesce_gap: Optional[int] = None,
         prefetch_pages: Optional[int] = None,
         io_policy: str = "fixed",
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "DistributedStoreServer":
         """Collectively open a sharded store: rank 0 reads ``shards.json``
         and broadcasts it, then every rank opens its assigned shards (delta
@@ -359,7 +375,12 @@ class DistributedStoreServer:
         deltas, so distributed serving reads appended data with no extra
         plumbing).  Serving knobs are forwarded to every shard's
         :meth:`SpatialDataStore.open` (``prefetch_pages=None`` keeps the
-        policy default, ``0`` disables readahead under both policies)."""
+        policy default, ``0`` disables readahead under both policies).
+
+        *tracer* is this rank's :class:`~repro.obs.trace.Tracer` (e.g.
+        ``Tracer(clock=comm.clock, rank=comm.rank)``); the default null
+        tracer keeps serving allocation-free.  *metrics* supplies a
+        server-level registry (per-shard query heat lands there)."""
         manifest: Optional[ShardsManifest] = None
         if comm.rank == 0:
             path = shards_path(name)
@@ -385,6 +406,8 @@ class DistributedStoreServer:
             coalesce_gap=coalesce_gap,
             prefetch_pages=prefetch_pages,
             io_policy=io_policy,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     def close(self) -> None:
@@ -466,6 +489,110 @@ class DistributedStoreServer:
         total["cache_hit_rate"] = total.get("cache_hits", 0.0) / accesses if accesses else 0.0
         return {"aggregate": total, "per_rank": per_rank}
 
+    def aggregate_metrics(self) -> Dict[str, Any]:
+        """Merged metrics snapshot over every rank's server **and** store
+        registries (collective).  Counters sum, gauges take the max,
+        histograms merge bucket-wise; snapshots are absolute state, so
+        repeated calls are idempotent — the ``aggregate_stats`` convention,
+        now for every metric including per-partition / per-shard heat
+        (partition and shard ids are global, so same-key counters from
+        different ranks sum into one coherent heat map).
+        """
+        local = merge_snapshots(
+            [self.metrics.snapshot()]
+            + [store.metrics.snapshot() for store in self.stores.values()]
+        )
+        return merge_snapshots(self.comm.allgather(local))
+
+    def collect_trace(
+        self, clear: bool = False
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Gather every rank's finished spans on rank 0 (collective), sorted
+        by ``(start, span_id)``.  ``clear=True`` also drops each rank's local
+        span buffer afterwards, so successive serving calls can be collected
+        batch by batch.  Returns ``None`` on non-root ranks.
+        """
+        local = self.tracer.export() if self.tracer.enabled else []
+        gathered = self.comm.gather(local, root=0)
+        if clear and self.tracer.enabled:
+            self.tracer.clear()
+        if self.comm.rank != 0:
+            return None
+        spans = [span for chunk in gathered or [] for span in chunk]
+        spans.sort(key=lambda s: (s["start"], s["span_id"]))
+        return spans
+
+    def explain_batch(
+        self,
+        queries: Optional[Sequence[Tuple[Any, Envelope]]],
+        exact: bool = True,
+    ) -> Optional[DistributedExplainReport]:
+        """EXPLAIN-by-executing for a distributed batch (collective).
+
+        Every rank swaps in a recording tracer (server + its shard stores),
+        serves the batch through :meth:`range_query_batch` for real, and
+        ships its spans plus per-shard stats deltas to rank 0, which folds
+        them into a :class:`~repro.obs.explain.DistributedExplainReport`
+        whose ``stats_delta`` equals the batch's aggregate
+        :class:`~repro.store.datastore.StoreStats` movement by construction.
+        Rank 0 supplies *queries* and receives the report; other ranks pass
+        ``None`` and get ``None``.
+        """
+        tracer = Tracer(clock=self.comm.clock, rank=self.comm.rank)
+        saved_server = self.tracer
+        saved_stores = {sid: st.tracer for sid, st in self.stores.items()}
+        self.tracer = tracer
+        for store in self.stores.values():
+            store.tracer = tracer
+        stats_before = {sid: st.stats.as_dict() for sid, st in self.stores.items()}
+        heat_before = {
+            sid: self.metrics.counter("server.shard_heat", shard=sid).value
+            for sid in self.my_shards
+        }
+        try:
+            hits = self.range_query_batch(queries, exact=exact)
+        finally:
+            self.tracer = saved_server
+            for sid, store in self.stores.items():
+                store.tracer = saved_stores[sid]
+
+        rank_delta: Dict[str, float] = {}
+        shards: Dict[int, Dict[str, Any]] = {}
+        for sid, store in self.stores.items():
+            after = store.stats.as_dict()
+            delta = {
+                key: after[key] - stats_before[sid].get(key, 0)
+                for key in after
+                if not key.endswith("hit_rate")
+            }
+            for key, value in delta.items():
+                rank_delta[key] = rank_delta.get(key, 0) + value
+            shards[sid] = {
+                "rank": self.comm.rank,
+                "entries": int(
+                    self.metrics.counter("server.shard_heat", shard=sid).value
+                    - heat_before[sid]
+                ),
+                "records_decoded": delta.get("records_decoded", 0),
+                "read_requests": delta.get("read_requests", 0),
+            }
+        payload = {
+            "rank": self.comm.rank,
+            "spans": tracer.export(),
+            "stats_delta": rank_delta,
+            "shards": shards,
+        }
+        gathered = self.comm.gather(payload, root=0)
+        if self.comm.rank != 0:
+            return None
+        return build_distributed_explain(
+            num_queries=len(queries) if queries is not None else 0,
+            num_hits=len(hits) if hits is not None else 0,
+            num_shards=self.manifest.num_shards,
+            num_ranks=self.comm.size,
+            per_rank_payloads=gathered or [],
+        )
+
     # ------------------------------------------------------------------ #
     # local serving
     # ------------------------------------------------------------------ #
@@ -487,6 +614,14 @@ class DistributedStoreServer:
         kept = [e for e in entries if shard.extent.intersects(e[-1])]
         if not kept:
             return []
+        # per-shard query heat: one tick per batch entry this shard actually
+        # serves (the rebalancer-facing twin of the engine's partition heat)
+        counter = self._shard_heat.get(sid)
+        if counter is None:
+            counter = self._shard_heat[sid] = self.metrics.counter(
+                "server.shard_heat", shard=sid
+            )
+        counter.inc(len(kept))
         with self._shard_guard(shard, action):
             batches = self.stores[sid].range_query_batch(
                 [(None, e[-1]) for e in kept], exact=exact
@@ -550,33 +685,71 @@ class DistributedStoreServer:
         *serve_local* answers one rank's list; *assemble* runs on rank 0
         over the flattened gathered rows.  Every phase is charged to the
         virtual clock and accumulated in :attr:`phases`.
+
+        **Trace propagation** rides the scatter: each per-rank list is
+        shipped as a ``(ctx, entries)`` pair where *ctx* is rank 0's
+        :class:`~repro.obs.trace.TraceContext` (``None`` when rank 0 is not
+        recording).  Serving ranks :meth:`~repro.obs.trace.Tracer.adopt`
+        the context around their local work, so their ``local_query`` spans
+        — and the engine spans nested inside — carry the client's trace id
+        and parent under the client's ``query`` span.  The payload shape is
+        the same whether tracing is on or off, so mixed configurations
+        cannot desynchronise the collective.
         """
         clock = self.comm.clock
+        tracer = self.tracer
+        is_root = self.comm.rank == 0
         t = clock.now
-        plan: Optional[List[List[Any]]] = None
-        if self.comm.rank == 0:
-            with clock.compute(category="route"):
-                plan = build_plan()
-        t = self._charge_phase("route", t)
+        payload: Optional[List[Tuple[Any, List[Any]]]] = None
+        with ExitStack() as stack:
+            if is_root and tracer.enabled:
+                # one trace per serving call: the root "query" span is the
+                # ancestor of every span on every rank
+                tracer.new_trace()
+                stack.enter_context(tracer.span("query", phase="serve"))
+            if is_root:
+                with tracer.span("route"):
+                    with clock.compute(category="route"):
+                        plan = build_plan()
+                ctx = tracer.context() if tracer.enabled else None
+                payload = [(ctx, entries) for entries in plan]
+            t = self._charge_phase("route", t)
 
-        mine = self.comm.scatter(plan, root=0)
-        t = self._charge_phase("scatter", t)
+            if is_root:
+                with tracer.span("scatter"):
+                    mine_ctx, mine = self.comm.scatter(payload, root=0)
+            else:
+                mine_ctx, mine = self.comm.scatter(payload, root=0)
+            t = self._charge_phase("scatter", t)
 
-        io_before = self._store_io_seconds()
-        with clock.compute(category="local_query"):
-            local = serve_local(mine)
-        clock.advance(self._store_io_seconds() - io_before, category="io")
-        t = self._charge_phase("local_query", t)
+            io_before = self._store_io_seconds()
+            with ExitStack() as local_stack:
+                if tracer.enabled and mine_ctx is not None and not is_root:
+                    local_stack.enter_context(tracer.adopt(mine_ctx))
+                span = local_stack.enter_context(tracer.span("local_query"))
+                with clock.compute(category="local_query"):
+                    local = serve_local(mine)
+                if tracer.enabled:
+                    span.set(
+                        rank=self.comm.rank,
+                        entries=len(mine) if mine else 0,
+                        rows=len(local) if local else 0,
+                    )
+            clock.advance(self._store_io_seconds() - io_before, category="io")
+            t = self._charge_phase("local_query", t)
 
-        gathered = self.comm.gather(local, root=0)
-        result: Any = None
-        if self.comm.rank == 0:
-            with clock.compute(category="gather"):
-                rows = [row for chunk in gathered or [] for row in chunk]
-                result = assemble(rows)
-        if broadcast:
-            result = self.comm.bcast(result, root=0)
-        self._charge_phase("gather", t)
+            gathered = self.comm.gather(local, root=0)
+            result: Any = None
+            if is_root:
+                with tracer.span("gather") as gspan:
+                    with clock.compute(category="gather"):
+                        rows = [row for chunk in gathered or [] for row in chunk]
+                        result = assemble(rows)
+                    if tracer.enabled:
+                        gspan.set(rows=len(rows))
+            if broadcast:
+                result = self.comm.bcast(result, root=0)
+            self._charge_phase("gather", t)
         return result
 
     def range_query_batch(
