@@ -29,7 +29,7 @@ from .datatypes import (
     create_struct,
     create_vector,
 )
-from .errors import CountLimitError, MPIAbortError, MPIError
+from .errors import CountLimitError, MPIAbortError, MPIError, RankFaultError
 from .ops import Op
 from .runtime import SPMDResult, run_spmd
 from .status import ANY_SOURCE, ANY_TAG, Request, Status
@@ -63,5 +63,6 @@ __all__ = [
     "MPIError",
     "MPIAbortError",
     "CountLimitError",
+    "RankFaultError",
     "payload_nbytes",
 ]

@@ -56,6 +56,9 @@ class Communicator:
         # optional observability sink (attach_metrics); None-checked per
         # operation so an unobserved communicator pays one branch
         self._metrics = None
+        # optional fault-injection hook (attach_fault_hook); same
+        # None-checked-per-operation contract as the metrics sink
+        self._fault_hook = None
 
     # ------------------------------------------------------------------ #
     # observability
@@ -73,6 +76,25 @@ class Communicator:
     def detach_metrics(self) -> None:
         self._metrics = None
 
+    # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+    def attach_fault_hook(self, hook) -> None:
+        """Install a rank-fault hook called as ``hook(op, rank)`` at the
+        entry of every communication call on this communicator (*op* is the
+        operation name, *rank* this member's communicator rank).
+
+        The hook injects a fault by raising — conventionally a
+        :class:`~repro.mpisim.errors.RankFaultError` — which then travels
+        the exact path a genuine rank failure would: out of the SPMD
+        function, into ``world.abort``, and into every blocked peer as an
+        ``MPIAbortError``.  Derived communicators (``split``/``dup``) do not
+        inherit the hook.
+        """
+        self._fault_hook = hook
+
+    def detach_fault_hook(self) -> None:
+        self._fault_hook = None
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -108,6 +130,8 @@ class Communicator:
         the message sizes exercised here)."""
         if not (0 <= dest < self.size):
             raise MPIError(f"invalid destination rank {dest}")
+        if self._fault_hook is not None:
+            self._fault_hook("send", self.rank)
         nbytes = payload_nbytes(obj)
         if self._metrics is not None:
             self._metrics.counter("comm.messages").inc()
@@ -128,6 +152,8 @@ class Communicator:
         status: Optional[Status] = None,
     ) -> Any:
         """Blocking receive returning the matched payload."""
+        if self._fault_hook is not None:
+            self._fault_hook("recv", self.rank)
         mbox = self.world.mailboxes[self._members[self.rank]]
         msg = mbox.take(source, tag)
         self.clock.advance_to(msg.arrival_time, category="comm")
@@ -176,6 +202,8 @@ class Communicator:
     def _exchange(self, value: Any, nbytes: int, cost_fn: Callable[[int, int], float]) -> List[Any]:
         """Gather ``(entry_time, value)`` from every rank, synchronise clocks
         and charge ``cost_fn(max_bytes, size)`` to everyone."""
+        if self._fault_hook is not None:
+            self._fault_hook("collective", self.rank)
         if self._metrics is not None:
             self._metrics.counter("comm.collectives").inc()
             self._metrics.counter("comm.bytes_collective").inc(nbytes)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["MPIError", "MPIAbortError", "CountLimitError"]
+__all__ = ["MPIError", "MPIAbortError", "CountLimitError", "RankFaultError"]
 
 
 class MPIError(RuntimeError):
@@ -15,6 +15,18 @@ class MPIAbortError(MPIError):
     The original exception is attached as ``__cause__`` on the failing rank;
     other ranks blocked in communication calls are woken up with this error so
     an SPMD program can never deadlock on a peer that has already died.
+    """
+
+
+class RankFaultError(MPIError):
+    """Raised by an attached communicator fault hook to simulate a rank-level
+    communication fault (a flaky NIC, a dropped peer).
+
+    Fault-injection harnesses attach a hook via
+    :meth:`~repro.mpisim.comm.Communicator.attach_fault_hook`; the hook
+    raises this error from inside a communication call on the targeted rank,
+    which then propagates through the normal abort machinery exactly like a
+    genuine rank failure would.
     """
 
 

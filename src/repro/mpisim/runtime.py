@@ -100,7 +100,27 @@ def run_spmd(
     for t in threads:
         t.join(timeout=timeout)
         if t.is_alive():
-            exc = MPIError(f"simulated rank {t.name} did not finish within {timeout}s (deadlock?)")
+            # tell a true deadlock (every live rank parked in a recv or a
+            # collective) from a long computation that merely outran the
+            # timeout — the two need opposite fixes
+            alive = sorted(
+                rank for rank, th in enumerate(threads) if th.is_alive()
+            )
+            blocked = world.waiting_ops()
+            running = [rank for rank in alive if rank not in blocked]
+            if alive and not running:
+                detail = ", ".join(f"rank {r} in {blocked[r]}" for r in alive)
+                reason = (
+                    f"all live ranks blocked in communication ({detail}) — deadlock"
+                )
+            else:
+                reason = (
+                    f"rank(s) {running} still running — "
+                    f"long computation, not a deadlock?"
+                )
+            exc = MPIError(
+                f"simulated rank {t.name} did not finish within {timeout}s ({reason})"
+            )
             world.abort(exc, -1)
             t.join(timeout=5.0)
             raise exc

@@ -17,6 +17,17 @@ from .errors import MPIAbortError
 __all__ = ["World", "payload_nbytes"]
 
 
+def _thread_rank() -> Optional[int]:
+    """Rank of the calling simulated thread (None off the SPMD threads)."""
+    name = threading.current_thread().name
+    if not name.startswith("mpisim-rank-"):
+        return None
+    try:
+        return int(name[len("mpisim-rank-"):])
+    except ValueError:
+        return None
+
+
 def payload_nbytes(obj: Any) -> int:
     """Approximate wire size of a Python payload in bytes.
 
@@ -79,22 +90,30 @@ class _Mailbox:
     def take(self, source: int, tag: int) -> _Message:
         """Block until a matching message arrives, then remove and return it."""
         with self._cond:
-            while True:
-                self._world.check_abort()
-                idx = self._match(source, tag)
-                if idx is not None:
-                    return self._messages.pop(idx)
-                self._cond.wait(timeout=0.2)
+            self._world.note_waiting("recv")
+            try:
+                while True:
+                    self._world.check_abort()
+                    idx = self._match(source, tag)
+                    if idx is not None:
+                        return self._messages.pop(idx)
+                    self._cond.wait(timeout=0.2)
+            finally:
+                self._world.note_running()
 
     def peek(self, source: int, tag: int) -> _Message:
         """Block until a matching message arrives and return it without removing."""
         with self._cond:
-            while True:
-                self._world.check_abort()
-                idx = self._match(source, tag)
-                if idx is not None:
-                    return self._messages[idx]
-                self._cond.wait(timeout=0.2)
+            self._world.note_waiting("recv")
+            try:
+                while True:
+                    self._world.check_abort()
+                    idx = self._match(source, tag)
+                    if idx is not None:
+                        return self._messages[idx]
+                    self._cond.wait(timeout=0.2)
+            finally:
+                self._world.note_running()
 
 
 class _CollectiveEngine:
@@ -132,9 +151,13 @@ class _CollectiveEngine:
                 self._generation += 1
                 self._cond.notify_all()
             else:
-                while gen not in self._results:
-                    self._world.check_abort()
-                    self._cond.wait(timeout=0.2)
+                self._world.note_waiting("collective")
+                try:
+                    while gen not in self._results:
+                        self._world.check_abort()
+                        self._cond.wait(timeout=0.2)
+                finally:
+                    self._world.note_running()
             result = self._results[gen]
             self._readers_left[gen] -= 1
             if self._readers_left[gen] == 0:
@@ -162,6 +185,11 @@ class World:
         self._engines_lock = threading.Lock()
         self._abort_exc: Optional[BaseException] = None
         self._abort_rank: Optional[int] = None
+        #: rank -> communication op ("recv"/"collective") it is blocked in;
+        #: purely diagnostic — the launcher reads it on timeout to tell a
+        #: deadlock from a long-running computation
+        self._waiting: Dict[int, str] = {}
+        self._waiting_lock = threading.Lock()
         #: arbitrary per-run shared objects (e.g. the simulated filesystem)
         self.shared: Dict[str, Any] = {}
 
@@ -174,6 +202,30 @@ class World:
                 eng = _CollectiveEngine(self, nranks)
                 self._engines[comm_id] = eng
             return eng
+
+    # ------------------------------------------------------------------ #
+    # blocked-rank tracking (deadlock diagnosis)
+    # ------------------------------------------------------------------ #
+    def note_waiting(self, op: str) -> None:
+        """Mark the calling rank as blocked in communication *op*."""
+        rank = _thread_rank()
+        if rank is None:
+            return
+        with self._waiting_lock:
+            self._waiting[rank] = op
+
+    def note_running(self) -> None:
+        """Clear the calling rank's blocked marker."""
+        rank = _thread_rank()
+        if rank is None:
+            return
+        with self._waiting_lock:
+            self._waiting.pop(rank, None)
+
+    def waiting_ops(self) -> Dict[int, str]:
+        """Snapshot of ``rank -> blocked op`` for currently waiting ranks."""
+        with self._waiting_lock:
+            return dict(self._waiting)
 
     # ------------------------------------------------------------------ #
     # abort machinery

@@ -61,12 +61,37 @@ from .datastore import (
     SpatialDataStore,
     StoreStats,
 )
-from .engine import PlanEntry, QueryPlan, QueryPlanner, RefineExecutor, StoreEngine
-from .format import PageKey, PageMeta, RecordRef, StoreError, StoreFormatError, StoreHeader
+from .engine import (
+    BatchOutcome,
+    DeadlineExceeded,
+    PlanEntry,
+    QueryPlan,
+    QueryPlanner,
+    RefineExecutor,
+    StoreEngine,
+)
+from .format import (
+    PageChecksumError,
+    PageKey,
+    PageMeta,
+    RecordRef,
+    StoreError,
+    StoreFormatError,
+    StoreHeader,
+)
 from .frontend import AsyncStoreFrontend, BatchMetrics, FrontendResult
 from .page import CachedPage
 from .index_io import dump_index, load_index
-from .scheduler import IOSchedule, IOScheduler, ScheduledRun, cost_model_gap
+from .scheduler import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    IOSchedule,
+    IOScheduler,
+    RetryPolicy,
+    ScheduledRun,
+    cost_model_gap,
+    read_file_with_retry,
+)
 from .manifest import (
     GenerationInfo,
     PartitionInfo,
@@ -74,6 +99,7 @@ from .manifest import (
     ShardsManifest,
     StoreManifest,
     delta_paths,
+    replica_store_name,
     shard_store_name,
     shards_path,
     store_paths,
@@ -92,6 +118,7 @@ from .router import ShardRouter, shard_assignment
 from .sharded import (
     DistributedHit,
     DistributedStoreServer,
+    QueryResult,
     ShardError,
     ShardedLoadResult,
     ShardedStoreWriter,
@@ -120,6 +147,15 @@ __all__ = [
     "QueryPlan",
     "PlanEntry",
     "RefineExecutor",
+    "BatchOutcome",
+    "DeadlineExceeded",
+    "PageChecksumError",
+    "RetryPolicy",
+    "DEFAULT_RETRY",
+    "NO_RETRY",
+    "read_file_with_retry",
+    "replica_store_name",
+    "QueryResult",
     "IOScheduler",
     "IOSchedule",
     "ScheduledRun",

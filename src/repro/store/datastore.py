@@ -23,8 +23,8 @@ reproduction; the accumulated simulated seconds are exposed via
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..geometry import Envelope, Geometry, predicates
 from ..index import STRtree
@@ -33,21 +33,24 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..pfs import FileHandle, ReadRequest, SimulatedFilesystem
 from .cache import CacheStats, LRUPageCache
-from .engine import StoreEngine
+from .engine import BatchOutcome, StoreEngine
 from .format import (
     HEADER_SIZE,
     VERSION,
+    PageChecksumError,
     PageKey,
     PageMeta,
     RecordRef,
+    StoreError,
     StoreFormatError,
     unpack_header,
+    unpack_page_checksums,
     unpack_page_directory,
 )
 from .index_io import load_index
 from .manifest import GenerationInfo, StoreManifest, delta_paths, store_paths
 from .page import CachedPage
-from .scheduler import IOScheduler
+from .scheduler import DEFAULT_RETRY, IOScheduler, RetryPolicy, read_file_with_retry
 from .writer import BulkLoadResult, bulk_load
 
 __all__ = [
@@ -138,6 +141,10 @@ class StoreStats:
         "read_requests",
         #: pages read ahead of demand by the sequential readahead
         "pages_prefetched",
+        #: read attempts re-issued after a transient fault (retry policy)
+        "retries",
+        #: pages whose payload failed its CRC32 check after every retry
+        "checksum_failures",
         #: simulated seconds charged by the filesystem cost model (open + reads)
         "io_seconds",
     )
@@ -162,6 +169,8 @@ class StoreStats:
             "queries": self.queries,
             "read_requests": self.read_requests,
             "pages_prefetched": self.pages_prefetched,
+            "retries": self.retries,
+            "checksum_failures": self.checksum_failures,
             "io_seconds": self.io_seconds,
         }
         out.update({f"cache_{k}": v for k, v in self.cache.as_dict().items()})
@@ -233,6 +242,7 @@ class SpatialDataStore:
         deltas: Sequence[Tuple[GenerationInfo, List[PageMeta], STRtree, int]] = (),
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if admission not in ADMISSION_POLICIES:
             raise ValueError(
@@ -258,6 +268,13 @@ class SpatialDataStore:
         #: span recorder for the staged engine; :data:`NULL_TRACER` (zero
         #: overhead) unless a recording tracer is injected
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: bounded-retry policy for the read path (see
+        #: :class:`~repro.store.scheduler.RetryPolicy`)
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY
+        #: pages that failed their checksum (or exhausted every retry) —
+        #: known-bad, never re-read, never cached; a demand for one raises
+        #: :class:`~repro.store.format.PageChecksumError` without I/O
+        self._quarantined: Set[PageKey] = set()
         self.stats = StoreStats(self.metrics)
         self._cache: LRUPageCache[PageKey, CachedPage] = LRUPageCache(
             cache_pages, stats=self.stats.cache
@@ -377,6 +394,7 @@ class SpatialDataStore:
         io_policy: str = "fixed",
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "SpatialDataStore":
         """Open a persisted store: manifest + page directory + packed index
         (for the base container and for every delta generation stacked by
@@ -400,7 +418,10 @@ class SpatialDataStore:
         *tracer* (a :class:`~repro.obs.trace.Tracer`; default the zero-cost
         null tracer) records query spans; *metrics* supplies an external
         :class:`~repro.obs.metrics.MetricsRegistry` to account this store
-        in (default: a private registry, exposed as ``store.metrics``).
+        in (default: a private registry, exposed as ``store.metrics``);
+        *retry_policy* bounds the transient-fault retries of both the open
+        path and the serving read path (default
+        :data:`~repro.store.scheduler.DEFAULT_RETRY`).
         """
         paths = store_paths(name)
         for key in ("data", "index", "manifest"):
@@ -409,25 +430,71 @@ class SpatialDataStore:
                     f"store {name!r} is missing {paths[key]!r}; run bulk_load first"
                 )
 
+        policy = retry_policy if retry_policy is not None else DEFAULT_RETRY
         io_seconds = 0.0
+        open_retries = 0
 
-        with fs.open(paths["manifest"]) as fh:
-            manifest_raw = fh.pread(0, fh.size)
-            io_seconds += fs.open_time()
-            io_seconds += fs.read_time(
-                paths["manifest"], [ReadRequest(0, ((0, len(manifest_raw)),))]
-            )
+        def _pread(fh, path: str, offset: int, nbytes: int) -> bytes:
+            """Handle-level read with the same bounded retry as serving.
+
+            A genuinely short file still returns short bytes (the format
+            layer's truncation diagnostics stay intact); only reads that
+            return less than the *file* can provide — injected faults — are
+            retried.
+            """
+            nonlocal io_seconds, open_retries
+            attempt = 1
+            while True:
+                err: Optional[Exception] = None
+                buf = b""
+                try:
+                    buf = fh.pread(offset, nbytes)
+                except OSError as exc:
+                    err = exc
+                if err is None and len(buf) >= min(nbytes, max(0, fh.size - offset)):
+                    return buf
+                if attempt >= policy.max_attempts:
+                    if err is None:
+                        err = StoreFormatError(
+                            f"short read of {path!r} at {offset}: got "
+                            f"{len(buf)} of {nbytes} bytes"
+                        )
+                    raise StoreError(
+                        f"reading {path!r} failed after {attempt} attempt(s): {err}"
+                    ) from err
+                io_seconds += policy.backoff(attempt)
+                open_retries += 1
+                attempt += 1
+
+        def _read_file(path: str) -> bytes:
+            nonlocal io_seconds, open_retries
+            data, waited, r = read_file_with_retry(fs, path, policy)
+            io_seconds += waited
+            open_retries += r
+            return data
+
+        manifest_raw = _read_file(paths["manifest"])
+        io_seconds += fs.open_time()
+        io_seconds += fs.read_time(
+            paths["manifest"], [ReadRequest(0, ((0, len(manifest_raw)),))]
+        )
         manifest = StoreManifest.from_json(manifest_raw.decode("utf-8"))
 
         with fs.open(paths["data"]) as fh:
-            header = unpack_header(fh.pread(0, HEADER_SIZE), file_size=fh.size)
-            directory = fh.pread(header.dir_offset, header.dir_nbytes)
+            header = unpack_header(
+                _pread(fh, paths["data"], 0, HEADER_SIZE), file_size=fh.size
+            )
+            tail_nbytes = header.dir_nbytes + header.checksum_nbytes
+            tail = _pread(fh, paths["data"], header.dir_offset, tail_nbytes)
             io_seconds += fs.open_time()
             io_seconds += fs.read_time(
                 paths["data"],
-                [ReadRequest(0, ((0, HEADER_SIZE), (header.dir_offset, header.dir_nbytes)))],
+                [ReadRequest(0, ((0, HEADER_SIZE), (header.dir_offset, tail_nbytes)))],
             )
-        pages = unpack_page_directory(directory, header.num_pages)
+        pages = unpack_page_directory(tail[: header.dir_nbytes], header.num_pages)
+        if header.has_checksums:
+            crcs = unpack_page_checksums(tail[header.dir_nbytes :], header.num_pages)
+            pages = [replace(meta, crc32=crc) for meta, crc in zip(pages, crcs)]
         if header.num_pages != manifest.num_pages or header.num_records != manifest.num_records:
             raise StoreFormatError(
                 f"manifest and container disagree for store {name!r}: "
@@ -435,10 +502,9 @@ class SpatialDataStore:
                 f"{header.num_pages}/{header.num_records} pages/records"
             )
 
-        with fs.open(paths["index"]) as fh:
-            index_raw = fh.pread(0, fh.size)
-            io_seconds += fs.open_time()
-            io_seconds += fs.read_time(paths["index"], [ReadRequest(0, ((0, len(index_raw)),))])
+        index_raw = _read_file(paths["index"])
+        io_seconds += fs.open_time()
+        io_seconds += fs.read_time(paths["index"], [ReadRequest(0, ((0, len(index_raw)),))])
         index = load_index(index_raw)
 
         deltas: List[Tuple[GenerationInfo, List[PageMeta], STRtree, int]] = []
@@ -449,12 +515,15 @@ class SpatialDataStore:
                 continue
             dpaths = delta_paths(name, info.gen_id)
             with fs.open(dpaths["data"]) as fh:
-                dheader = unpack_header(fh.pread(0, HEADER_SIZE), file_size=fh.size)
-                ddirectory = fh.pread(dheader.dir_offset, dheader.dir_nbytes)
+                dheader = unpack_header(
+                    _pread(fh, dpaths["data"], 0, HEADER_SIZE), file_size=fh.size
+                )
+                dtail_nbytes = dheader.dir_nbytes + dheader.checksum_nbytes
+                dtail = _pread(fh, dpaths["data"], dheader.dir_offset, dtail_nbytes)
                 io_seconds += fs.open_time()
                 io_seconds += fs.read_time(
                     dpaths["data"],
-                    [ReadRequest(0, ((0, HEADER_SIZE), (dheader.dir_offset, dheader.dir_nbytes)))],
+                    [ReadRequest(0, ((0, HEADER_SIZE), (dheader.dir_offset, dtail_nbytes)))],
                 )
             if dheader.num_pages != info.num_pages:
                 raise StoreFormatError(
@@ -462,16 +531,26 @@ class SpatialDataStore:
                     f"{info.gen_id} of store {name!r}: {info.num_pages} vs "
                     f"{dheader.num_pages} pages"
                 )
-            with fs.open(dpaths["index"]) as fh:
-                dindex_raw = fh.pread(0, fh.size)
-                io_seconds += fs.open_time()
-                io_seconds += fs.read_time(
-                    dpaths["index"], [ReadRequest(0, ((0, len(dindex_raw)),))]
+            delta_pages = unpack_page_directory(
+                dtail[: dheader.dir_nbytes], dheader.num_pages
+            )
+            if dheader.has_checksums:
+                dcrcs = unpack_page_checksums(
+                    dtail[dheader.dir_nbytes :], dheader.num_pages
                 )
+                delta_pages = [
+                    replace(meta, crc32=crc)
+                    for meta, crc in zip(delta_pages, dcrcs)
+                ]
+            dindex_raw = _read_file(dpaths["index"])
+            io_seconds += fs.open_time()
+            io_seconds += fs.read_time(
+                dpaths["index"], [ReadRequest(0, ((0, len(dindex_raw)),))]
+            )
             deltas.append(
                 (
                     info,
-                    unpack_page_directory(ddirectory, dheader.num_pages),
+                    delta_pages,
                     load_index(dindex_raw),
                     dheader.version,
                 )
@@ -492,8 +571,10 @@ class SpatialDataStore:
             deltas=deltas,
             tracer=tracer,
             metrics=metrics,
+            retry_policy=retry_policy,
         )
         store.stats.io_seconds = io_seconds
+        store.stats.retries = open_retries
         return store
 
     @classmethod
@@ -593,7 +674,10 @@ class SpatialDataStore:
         self.stats.records_decoded += n
 
     def _fetch_missing(
-        self, missing: List[PageKey], admit: bool
+        self,
+        missing: List[PageKey],
+        admit: bool,
+        failed: Optional[List[Tuple[PageKey, Exception]]] = None,
     ) -> Dict[PageKey, CachedPage]:
         """Read the (sorted) *missing* pages with coalesced, gap-tolerant
         read ranges — the two-phase-I/O analogue of the serving path.
@@ -608,6 +692,13 @@ class SpatialDataStore:
         to the stripe boundary under the cost-model policy (pages are laid
         out back to back, so the extension pays bandwidth, never extra
         latency).
+
+        Transient read faults are retried per run under the store's
+        :class:`~repro.store.scheduler.RetryPolicy`; pages still bad after
+        every retry are quarantined.  With *failed* ``None`` (the default)
+        the first unrecovered demand page raises; otherwise unrecovered
+        demand pages are appended to *failed* as ``(key, cause)`` pairs and
+        the surviving pages are returned — the degraded-mode contract.
         """
         by_gen: Dict[int, List[int]] = {}
         for key in missing:
@@ -615,6 +706,7 @@ class SpatialDataStore:
 
         tracer = self.tracer
         out: Dict[PageKey, CachedPage] = {}
+        bad: List[Tuple[PageKey, Exception]] = []
         for gen_id in sorted(by_gen):
             gen = self.generations[gen_id]
             if gen.handle is None:
@@ -639,11 +731,14 @@ class SpatialDataStore:
                         policy=self.io_policy,
                         gap=gen.scheduler.gap,
                         prefetch_stop=schedule.prefetch_stop,
-                    ):
-                        self._read_run(gen, gen_id, run, out)
+                    ) as span:
+                        before = self.stats.retries
+                        self._read_run(gen, gen_id, run, out, bad)
+                        if self.stats.retries > before:
+                            span.set(retries=int(self.stats.retries - before))
             else:
                 for run in schedule.runs:
-                    self._read_run(gen, gen_id, run, out)
+                    self._read_run(gen, gen_id, run, out, bad)
 
             self.stats.io_seconds += self.fs.read_time(
                 gen.data_path, [schedule.read_request()]
@@ -651,9 +746,13 @@ class SpatialDataStore:
             self.stats.read_requests += len(schedule.runs)
             self.stats.bytes_read += schedule.total_bytes
             self.stats.pages_prefetched += schedule.num_prefetched
-        self.stats.pages_read += len(missing)
+        self.stats.pages_read += len(missing) - len(bad)
         for key, page in out.items():
             self._cache.put(key, page, admit=admit)
+        if bad:
+            if failed is None:
+                raise bad[0][1]
+            failed.extend(bad)
         return out
 
     def _read_run(
@@ -662,21 +761,96 @@ class SpatialDataStore:
         gen_id: int,
         run,
         out: Dict[PageKey, CachedPage],
+        bad: List[Tuple[PageKey, Exception]],
     ) -> None:
-        """Read one coalesced run and slice its payloads into *out*."""
-        buf = gen.handle.pread(run.offset, run.nbytes)
-        if len(buf) != run.nbytes:
-            raise StoreFormatError(
-                f"pages {run.page_ids[0]}..{run.page_ids[-1]} of "
-                f"generation {gen_id} of store {self.name!r} are "
-                f"truncated: got {len(buf)} of {run.nbytes} bytes"
-            )
-        for pid in run.page_ids:
-            meta = gen.pages[pid]
-            payload = buf[meta.offset - run.offset : meta.offset - run.offset + meta.nbytes]
-            out[PageKey(gen_id, pid)] = CachedPage(
-                pid, payload, gen.version, on_decode=self._on_decode
-            )
+        """Read one coalesced run, verify checksums and slice the payloads
+        into *out*, retrying the whole run on transient faults.
+
+        Retryable: a raised ``OSError``, a short read of the run and a page
+        checksum mismatch (each retry re-reads the run's bytes, charges the
+        policy backoff plus the re-read to ``io_seconds`` and bumps
+        ``stats.retries``).  Structural decode errors keep propagating
+        immediately — a payload that parses wrong with a *valid* checksum
+        (or in a legacy container without checksums) re-parses identically,
+        so a retry cannot help.  Pages still bad after the last attempt are
+        quarantined and appended to *bad* with their cause; readahead-only
+        pages among them are dropped silently (a later demand fails fast on
+        the quarantine set).
+        """
+        policy = self.retry_policy
+        demand = set(run.demand_ids)
+        attempt = 1
+        while True:
+            run_error: Optional[Exception] = None
+            page_errors: List[Tuple[int, Exception]] = []
+            pages: Dict[int, CachedPage] = {}
+            try:
+                buf = gen.handle.pread(run.offset, run.nbytes)
+            except OSError as exc:
+                run_error = exc
+                buf = b""
+            if run_error is None and len(buf) != run.nbytes:
+                run_error = StoreFormatError(
+                    f"pages {run.page_ids[0]}..{run.page_ids[-1]} of "
+                    f"generation {gen_id} of store {self.name!r} are "
+                    f"truncated: got {len(buf)} of {run.nbytes} bytes"
+                )
+            if run_error is None:
+                for pid in run.page_ids:
+                    meta = gen.pages[pid]
+                    payload = buf[
+                        meta.offset - run.offset : meta.offset - run.offset + meta.nbytes
+                    ]
+                    try:
+                        pages[pid] = CachedPage(
+                            pid,
+                            payload,
+                            gen.version,
+                            on_decode=self._on_decode,
+                            expected_crc=meta.crc32,
+                        )
+                    except PageChecksumError as exc:
+                        exc.generation = gen_id
+                        page_errors.append((pid, exc))
+                if not page_errors:
+                    for pid, page in pages.items():
+                        out[PageKey(gen_id, pid)] = page
+                    return
+
+            if attempt < policy.max_attempts:
+                self.stats.retries += 1
+                self.stats.io_seconds += policy.backoff(attempt)
+                self.stats.io_seconds += self.fs.read_time(
+                    gen.data_path, [ReadRequest(0, ((run.offset, run.nbytes),))]
+                )
+                attempt += 1
+                continue
+
+            # out of attempts: quarantine what stayed bad, keep what healed
+            if run_error is not None:
+                page_errors = [
+                    (
+                        pid,
+                        StoreError(
+                            f"page {pid} of generation {gen_id} of store "
+                            f"{self.name!r} unreadable after {attempt} "
+                            f"attempt(s): {run_error}"
+                        ),
+                    )
+                    for pid in run.page_ids
+                ]
+            else:
+                for pid, page in pages.items():
+                    out[PageKey(gen_id, pid)] = page
+            for pid, exc in page_errors:
+                key = PageKey(gen_id, pid)
+                if key not in self._quarantined:
+                    self._quarantined.add(key)
+                    if isinstance(exc, PageChecksumError):
+                        self.stats.checksum_failures += 1
+                if pid in demand:
+                    bad.append((key, exc))
+            return
 
     @staticmethod
     def _page_key(key: Union[PageKey, Tuple[int, int], int]) -> PageKey:
@@ -686,25 +860,41 @@ class SpatialDataStore:
         return PageKey(0, key)
 
     def _get_pages(
-        self, page_ids: Iterable[Union[PageKey, int]], admit: bool = True
+        self,
+        page_ids: Iterable[Union[PageKey, int]],
+        admit: bool = True,
+        failed: Optional[List[Tuple[PageKey, Exception]]] = None,
     ) -> Dict[PageKey, CachedPage]:
         """Resolve *page_ids* (``PageKey`` or bare base-generation ints) to
         cached page images, fetching misses in coalesced runs.  The returned
         dict holds strong references keyed by :class:`PageKey`, so the
         caller can evaluate against every page even when the cache is
-        smaller than the working set."""
+        smaller than the working set.
+
+        Quarantined pages fail without I/O.  With *failed* ``None`` a bad
+        page raises; otherwise ``(key, cause)`` pairs are appended to
+        *failed* and the surviving pages are returned (degraded mode).
+        """
         tracer = self.tracer
         if not tracer.enabled:
             out: Dict[PageKey, CachedPage] = {}
             missing: List[PageKey] = []
             for key in sorted({self._page_key(k) for k in page_ids}):
+                if self._quarantined and key in self._quarantined:
+                    self._fail_quarantined(key, failed)
+                    continue
                 page = self._cache.get(key)
                 if page is None:
                     missing.append(key)
                 else:
                     out[key] = page
             if missing:
-                out.update(self._fetch_missing(missing, admit))
+                if failed is None:
+                    # two-positional call shape kept for instrumentation
+                    # wrappers around _fetch_missing
+                    out.update(self._fetch_missing(missing, admit))
+                else:
+                    out.update(self._fetch_missing(missing, admit, failed=failed))
             return out
         # traced path: one "schedule" span per resolution (its "io" children
         # are the coalesced runs the misses turned into)
@@ -712,6 +902,9 @@ class SpatialDataStore:
             out = {}
             missing = []
             for key in sorted({self._page_key(k) for k in page_ids}):
+                if self._quarantined and key in self._quarantined:
+                    self._fail_quarantined(key, failed)
+                    continue
                 page = self._cache.get(key)
                 if page is None:
                     missing.append(key)
@@ -723,8 +916,37 @@ class SpatialDataStore:
                 cache_misses=len(missing),
             )
             if missing:
-                out.update(self._fetch_missing(missing, admit))
+                if failed is None:
+                    # two-positional call shape kept for instrumentation
+                    # wrappers around _fetch_missing
+                    out.update(self._fetch_missing(missing, admit))
+                else:
+                    out.update(self._fetch_missing(missing, admit, failed=failed))
             return out
+
+    def _fail_quarantined(
+        self,
+        key: PageKey,
+        failed: Optional[List[Tuple[PageKey, Exception]]],
+    ) -> None:
+        exc = PageChecksumError(
+            f"page {key.page_id} of generation {key.generation} of store "
+            f"{self.name!r} is quarantined",
+            page_id=key.page_id,
+            generation=key.generation,
+        )
+        if failed is None:
+            raise exc
+        failed.append((key, exc))
+
+    @property
+    def quarantined_pages(self) -> Set[PageKey]:
+        """Snapshot of the known-bad page set (checksum/retry casualties)."""
+        return set(self._quarantined)
+
+    def partition_of_page(self, key: PageKey) -> Optional[int]:
+        """Partition owning *key* (degraded-result accounting helper)."""
+        return self._partition_of_page.get(key)
 
     # ------------------------------------------------------------------ #
     # queries (all routed through the staged engine)
@@ -768,6 +990,23 @@ class SpatialDataStore:
         queries = list(queries)
         self.stats.queries += len(queries)
         return self.engine.execute(queries, exact=exact)
+
+    def query_outcome(
+        self,
+        queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
+        exact: bool = True,
+        partial_ok: bool = False,
+        budget: Optional[float] = None,
+    ) -> BatchOutcome:
+        """:meth:`range_query_batch` with an explicit outcome — degraded-mode
+        partial results (``partial_ok``) and a per-batch simulated-I/O-seconds
+        deadline (*budget*); see :meth:`StoreEngine.execute_outcome`.
+        """
+        queries = list(queries)
+        self.stats.queries += len(queries)
+        return self.engine.execute_outcome(
+            queries, exact=exact, partial_ok=partial_ok, budget=budget
+        )
 
     def join(
         self,

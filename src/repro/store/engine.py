@@ -27,19 +27,31 @@ and distributed paths can never diverge; the async front-end
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..geometry import Envelope, Geometry, Polygon, predicates
 from ..index import STRtree, spatial_visit_order
-from .format import PageKey
+from .format import PageKey, StoreError
 from .manifest import StoreManifest
 from .page import CachedPage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .datastore import Generation, QueryHit, SpatialDataStore
 
-__all__ = ["PlanEntry", "QueryPlan", "QueryPlanner", "RefineExecutor", "StoreEngine"]
+__all__ = [
+    "BatchOutcome",
+    "DeadlineExceeded",
+    "PlanEntry",
+    "QueryPlan",
+    "QueryPlanner",
+    "RefineExecutor",
+    "StoreEngine",
+]
+
+
+class DeadlineExceeded(StoreError):
+    """A query batch ran out of its simulated-I/O-seconds budget."""
 
 
 @dataclass(frozen=True)
@@ -71,6 +83,28 @@ class QueryPlan:
     @property
     def num_queries(self) -> int:
         return len(self.entries)
+
+
+@dataclass
+class BatchOutcome:
+    """Result of :meth:`StoreEngine.execute_outcome` — the hit lists plus an
+    explicit account of what could **not** be served.
+
+    ``complete`` is ``True`` exactly when every planned candidate page was
+    fetched and refined; a partial outcome records the unserved pages with
+    their causes, the partitions those pages belong to, and which batch
+    positions may therefore be missing records.
+    """
+
+    #: one hit list per query, in input order (possibly partial)
+    hits: List[List["QueryHit"]]
+    complete: bool
+    #: unserved ``(page, cause)`` pairs, one per distinct page, sorted by key
+    failed_pages: List[Tuple[PageKey, Exception]] = field(default_factory=list)
+    #: distinct partitions owning the failed pages (sorted; ``-1`` = unknown)
+    missing_partitions: List[int] = field(default_factory=list)
+    #: batch positions whose hit list may be missing records
+    incomplete_queries: List[int] = field(default_factory=list)
 
 
 class QueryPlanner:
@@ -342,6 +376,89 @@ class StoreEngine:
         if self.store.tracer.enabled:
             return self._execute_traced(queries, exact)
         return self._execute_untraced(queries, exact)
+
+    def execute_outcome(
+        self,
+        queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
+        exact: bool = True,
+        partial_ok: bool = False,
+        budget: Optional[float] = None,
+    ) -> BatchOutcome:
+        """:meth:`execute` with an explicit outcome: degraded-mode partial
+        results and a per-batch I/O deadline.
+
+        With ``partial_ok`` an unreadable page (checksum quarantine, retry
+        exhaustion) no longer aborts the batch: affected queries return the
+        hits their surviving pages produce and the outcome records exactly
+        which pages and partitions are missing.  *budget* bounds the batch's
+        **simulated I/O seconds** (the store's ``io_seconds`` movement,
+        backoff included): once spent (a zero budget is spent from the
+        start), remaining entries are not fetched —
+        ``partial_ok`` decides whether that degrades the outcome or raises
+        :class:`DeadlineExceeded`.  Without either knob this is
+        :meth:`execute` wrapped in a trivially complete outcome.
+        """
+        store = self.store
+        if not partial_ok and budget is None:
+            return BatchOutcome(self.execute(queries, exact=exact), True)
+
+        queries = list(queries)
+        results: List[List["QueryHit"]] = [[] for _ in queries]
+        plan = self.planner.plan(queries)
+        if not plan.entries:
+            return BatchOutcome(results, True)
+        self._record_heat(plan)
+
+        failed: List[Tuple[PageKey, Exception]] = []
+        incomplete: List[int] = []
+        collect = failed if partial_ok else None
+        io_start = store.stats.io_seconds
+
+        held: Dict[PageKey, CachedPage] = {}
+        touched = plan.touched_pages
+        # bulk prefetch is skipped under a budget: the deadline is checked
+        # between entries, so I/O has to be issued entry by entry
+        if budget is None and 0 < len(touched) <= store._cache.capacity:
+            held = store._get_pages(touched, failed=collect)
+
+        for j in plan.visit_order:
+            entry = plan.entries[j]
+            if budget is not None and store.stats.io_seconds - io_start >= budget:
+                exc: Exception = DeadlineExceeded(
+                    f"query batch on store {store.name!r} exceeded its "
+                    f"{budget:g}s I/O budget"
+                )
+                if not partial_ok:
+                    raise exc
+                failed.extend((key, exc) for key in entry.by_page)
+                incomplete.append(entry.position)
+                continue
+            pages = held if held else store._get_pages(entry.by_page, failed=collect)
+            if any(key not in pages for key in entry.by_page):
+                available = {k: s for k, s in entry.by_page.items() if k in pages}
+                incomplete.append(entry.position)
+                if not available:
+                    continue
+                entry = PlanEntry(
+                    entry.position, entry.query_id, entry.env, entry.geom, available
+                )
+            results[entry.position] = self.executor.refine(entry, pages, exact)
+
+        # one cause per distinct page (entries may share a failed page)
+        causes: Dict[PageKey, Exception] = {}
+        for key, exc in failed:
+            causes.setdefault(key, exc)
+        failed_pages = sorted(causes.items())
+        missing = sorted(
+            {store._partition_of_page.get(key, -1) for key, _ in failed_pages}
+        )
+        return BatchOutcome(
+            hits=results,
+            complete=not failed_pages and not incomplete,
+            failed_pages=[(key, exc) for key, exc in failed_pages],
+            missing_partitions=missing,
+            incomplete_queries=sorted(set(incomplete)),
+        )
 
     def _execute_untraced(
         self,

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import pickle
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -55,10 +56,13 @@ __all__ = [
     "VERSION",
     "SUPPORTED_VERSIONS",
     "HEADER_SIZE",
+    "FLAG_PAGE_CHECKSUMS",
     "PAGE_DIR_ENTRY",
+    "PAGE_CHECKSUM_ENTRY",
     "ENVELOPE_ENTRY",
     "StoreError",
     "StoreFormatError",
+    "PageChecksumError",
     "StoreHeader",
     "PageMeta",
     "PageKey",
@@ -74,6 +78,9 @@ __all__ = [
     "unpack_header",
     "pack_page_directory",
     "unpack_page_directory",
+    "pack_page_checksums",
+    "unpack_page_checksums",
+    "page_crc32",
 ]
 
 MAGIC = b"RSPGSTO1"
@@ -82,12 +89,20 @@ VERSION = 2
 SUPPORTED_VERSIONS = (1, 2)
 HEADER_SIZE = 64
 
+#: header flag bit: a CRC32 checksum table (one u32 per page, in page-id
+#: order) follows the page directory.  Orthogonal to the payload version, so
+#: flag-less containers written by older builds stay openable.
+FLAG_PAGE_CHECKSUMS = 0x1
+
 #: fixed part of the header (the remainder of the 64 bytes is zero padding)
 _HEADER = struct.Struct("<8sHHIIQQ")  # magic, version, flags, page_size,
 #                                        num_pages, num_records, dir_offset
 
 #: one page-directory entry: offset, nbytes, count, page MBR
 PAGE_DIR_ENTRY = struct.Struct("<QII4d")
+
+#: one checksum-table entry: CRC32 of the page payload
+PAGE_CHECKSUM_ENTRY = struct.Struct("<I")
 
 #: v1 per-record prefix inside a page: record id, WKB length, userdata length
 _RECORD_PREFIX = struct.Struct("<III")
@@ -114,6 +129,22 @@ class StoreError(Exception):
 
 class StoreFormatError(StoreError, ValueError):
     """Raised when a store file is malformed, truncated or mis-versioned."""
+
+
+class PageChecksumError(StoreError):
+    """Raised when a fetched page payload fails its CRC32 check.
+
+    Distinct from :class:`StoreFormatError` because the bytes are *wrong*,
+    not merely mis-shaped: a bit-flip inside a record body can still parse
+    into a valid-looking (but incorrect) geometry, and only the checksum
+    catches it.  The serving layer treats these pages as quarantinable and —
+    where replicas exist — recoverable, rather than as fatal corruption.
+    """
+
+    def __init__(self, message: str, page_id: int = -1, generation: int = 0) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+        self.generation = generation
 
 
 class RecordRef(NamedTuple):
@@ -147,10 +178,20 @@ class StoreHeader:
     dir_offset: int
     #: page-payload layout version (1 = inline prefixes, 2 = envelope column)
     version: int = VERSION
+    #: feature bits (``FLAG_*``); zero in containers from older builds
+    flags: int = 0
 
     @property
     def dir_nbytes(self) -> int:
         return self.num_pages * PAGE_DIR_ENTRY.size
+
+    @property
+    def has_checksums(self) -> bool:
+        return bool(self.flags & FLAG_PAGE_CHECKSUMS)
+
+    @property
+    def checksum_nbytes(self) -> int:
+        return self.num_pages * PAGE_CHECKSUM_ENTRY.size if self.has_checksums else 0
 
 
 @dataclass(frozen=True)
@@ -162,6 +203,8 @@ class PageMeta:
     nbytes: int
     count: int
     mbr: Envelope
+    #: CRC32 of the page payload; ``None`` for containers without checksums
+    crc32: Optional[int] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -311,10 +354,13 @@ def pack_header(
     num_records: int,
     dir_offset: int,
     version: int = VERSION,
+    flags: int = 0,
 ) -> bytes:
     if version not in SUPPORTED_VERSIONS:
         raise StoreFormatError(f"cannot write store version {version}")
-    packed = _HEADER.pack(MAGIC, version, 0, page_size, num_pages, num_records, dir_offset)
+    packed = _HEADER.pack(
+        MAGIC, version, flags, page_size, num_pages, num_records, dir_offset
+    )
     return packed + b"\x00" * (HEADER_SIZE - len(packed))
 
 
@@ -329,7 +375,7 @@ def unpack_header(data: bytes, file_size: Optional[int] = None) -> StoreHeader:
         raise StoreFormatError(
             f"store header needs {HEADER_SIZE} bytes, got {len(data)}"
         )
-    magic, version, _flags, page_size, num_pages, num_records, dir_offset = _HEADER.unpack_from(
+    magic, version, flags, page_size, num_pages, num_records, dir_offset = _HEADER.unpack_from(
         data, 0
     )
     if magic != MAGIC:
@@ -344,11 +390,13 @@ def unpack_header(data: bytes, file_size: Optional[int] = None) -> StoreHeader:
         num_records=num_records,
         dir_offset=dir_offset,
         version=version,
+        flags=flags,
     )
     if file_size is not None:
-        if dir_offset < HEADER_SIZE or dir_offset + header.dir_nbytes > file_size:
+        tail_nbytes = header.dir_nbytes + header.checksum_nbytes
+        if dir_offset < HEADER_SIZE or dir_offset + tail_nbytes > file_size:
             raise StoreFormatError(
-                f"page directory [{dir_offset}, {dir_offset + header.dir_nbytes}) "
+                f"page directory [{dir_offset}, {dir_offset + tail_nbytes}) "
                 f"does not fit the container ({file_size} bytes)"
             )
     return header
@@ -361,6 +409,39 @@ def pack_page_directory(metas: Iterable[PageMeta]) -> bytes:
             meta.offset, meta.nbytes, meta.count, *meta.mbr.as_tuple()
         )
     return bytes(out)
+
+
+def page_crc32(payload: bytes) -> int:
+    """CRC32 of one page payload (the value stored in the checksum table)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def pack_page_checksums(metas: Iterable[PageMeta]) -> bytes:
+    """Pack the per-page CRC32 table that follows the page directory.
+
+    Every meta must carry a ``crc32`` (writers compute it at page-flush
+    time); a ``None`` here means a writer forgot, which is a bug, not data
+    corruption.
+    """
+    out = bytearray()
+    for meta in metas:
+        if meta.crc32 is None:
+            raise StoreFormatError(
+                f"page {meta.page_id} has no checksum but the container "
+                f"declares FLAG_PAGE_CHECKSUMS"
+            )
+        out += PAGE_CHECKSUM_ENTRY.pack(meta.crc32)
+    return bytes(out)
+
+
+def unpack_page_checksums(data: bytes, num_pages: int) -> List[int]:
+    expected = num_pages * PAGE_CHECKSUM_ENTRY.size
+    if len(data) != expected:
+        raise StoreFormatError(
+            f"page checksum table is {len(data)} bytes, expected {expected} "
+            f"({num_pages} entries of {PAGE_CHECKSUM_ENTRY.size} bytes)"
+        )
+    return [v for (v,) in PAGE_CHECKSUM_ENTRY.iter_unpack(data)]
 
 
 def unpack_page_directory(data: bytes, num_pages: int) -> List[PageMeta]:

@@ -36,7 +36,7 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..geometry import Envelope
 from ..obs.metrics import Histogram
-from .sharded import DistributedHit, DistributedStoreServer
+from .sharded import DistributedStoreServer
 
 __all__ = ["AsyncStoreFrontend", "BatchMetrics", "FrontendResult"]
 
@@ -67,7 +67,9 @@ class FrontendResult:
     """Rank-0 outcome of one :meth:`AsyncStoreFrontend.serve` call."""
 
     #: one de-duplicated hit list per submitted batch, in submission order
-    batches: List[List[DistributedHit]]
+    #: (a :class:`~repro.store.sharded.QueryResult` per batch when the call
+    #: used ``partial_ok`` / ``deadline``)
+    batches: List[Any]
     metrics: List[BatchMetrics]
     #: virtual makespan of the whole call (max rank end - min rank start)
     makespan: float
@@ -155,7 +157,9 @@ class AsyncStoreFrontend:
         exact: bool,
         ctx: Any = None,
         batch_id: Optional[int] = None,
-    ) -> List[Any]:
+        deadline: Optional[float] = None,
+        outcome: bool = False,
+    ) -> Any:
         """One rank's local-query phase: through the shard stores' engines,
         simulated store I/O charged to the virtual clock and the phase
         accumulated in the server's breakdown.  With a recording tracer the
@@ -172,13 +176,18 @@ class AsyncStoreFrontend:
                 stack.enter_context(tracer.adopt(ctx))
             span = stack.enter_context(tracer.span("local_query"))
             with clock.compute(category="local_query"):
-                rows = server._local_query(entries, exact)
+                if outcome:
+                    # degraded-mode pair: (rows, failures) — see
+                    # DistributedStoreServer._local_query_outcome
+                    rows = server._local_query_outcome(entries, exact, deadline)
+                else:
+                    rows = server._local_query(entries, exact)
             if tracer.enabled:
                 span.set(
                     rank=server.comm.rank,
                     batch=batch_id,
                     entries=len(entries),
-                    rows=len(rows),
+                    rows=len(rows[0]) if outcome else len(rows),
                 )
         clock.advance(server._store_io_seconds() - io_before, category="io")
         server._charge_phase("local_query", since)
@@ -189,29 +198,46 @@ class AsyncStoreFrontend:
         self,
         batches: Optional[Sequence[Sequence[Tuple[Any, Envelope]]]],
         exact: bool = True,
+        partial_ok: bool = False,
+        deadline: Optional[float] = None,
     ) -> Optional[FrontendResult]:
         """Serve many ``[(query_id, window), ...]`` batches, pipelined.
 
         Collective: rank 0 supplies *batches* (each one a
         ``range_query_batch``-shaped list) and gets the per-batch hits plus
         the virtual-clock metrics; other ranks pass ``None``.
+
+        ``partial_ok`` / ``deadline`` select degraded-mode serving exactly
+        like :meth:`DistributedStoreServer.range_query_batch`; rank 0's
+        values win (they ride the initial broadcast), and each batch then
+        yields a :class:`~repro.store.sharded.QueryResult` instead of a hit
+        list.
         """
         comm = self.server.comm
         clock = comm.clock
         if comm.rank == 0 and batches is None:
             raise ValueError("rank 0 must supply the batch sequence")
-        num_batches = comm.bcast(len(batches) if comm.rank == 0 else None, root=0)
+        num_batches, partial_ok, deadline = comm.bcast(
+            (len(batches), partial_ok, deadline) if comm.rank == 0 else None,
+            root=0,
+        )
+        outcome = partial_ok or deadline is not None
         start = clock.now
 
         result: Optional[FrontendResult] = None
         if comm.rank == 0:
-            result = self._run_root(list(batches), num_batches, exact, start)
+            result = self._run_root(
+                list(batches), num_batches, exact, start, partial_ok, deadline
+            )
         else:
             for b in range(num_batches):
                 t = clock.now
                 ctx, entries = comm.recv(source=0, tag=self._plan_tag(b))
                 t = self.server._charge_phase("scatter", t)
-                rows = self._serve_local(entries, exact, ctx=ctx, batch_id=b)
+                rows = self._serve_local(
+                    entries, exact, ctx=ctx, batch_id=b,
+                    deadline=deadline, outcome=outcome,
+                )
                 t = clock.now
                 comm.send(rows, dest=0, tag=self._data_tag(b))
                 self.server._charge_phase("gather", t)
@@ -229,29 +255,48 @@ class AsyncStoreFrontend:
         num_batches: int,
         exact: bool,
         start: float,
+        partial_ok: bool = False,
+        deadline: Optional[float] = None,
     ) -> FrontendResult:
         comm = self.server.comm
         clock = comm.clock
         server = self.server
         tracer = server.tracer
+        outcome = partial_ok or deadline is not None
         latency_hist = server.metrics.histogram("frontend.batch_latency_seconds")
 
-        results: List[List[DistributedHit]] = [[] for _ in range(num_batches)]
+        results: List[Any] = [[] for _ in range(num_batches)]
         metrics: List[Optional[BatchMetrics]] = [None] * num_batches
         #: (batch_id, rank-0 plan entries, submit time) routed but not gathered
         in_flight: Deque[Tuple[int, List[Tuple[int, Any, Envelope]], float]] = deque()
 
         def complete_oldest() -> None:
             batch_id, own_entries, submitted = in_flight.popleft()
-            rows = self._serve_local(own_entries, exact, batch_id=batch_id)
+            local = self._serve_local(
+                own_entries, exact, batch_id=batch_id,
+                deadline=deadline, outcome=outcome,
+            )
             t = clock.now
-            for rank in range(1, comm.size):
-                rows.extend(comm.recv(source=rank, tag=self._data_tag(batch_id)))
-            with tracer.span("gather") as gspan:
-                with clock.compute(category="gather"):
-                    hits = server._dedup(rows)
-                if tracer.enabled:
-                    gspan.set(batch=batch_id, rows=len(rows))
+            if outcome:
+                pairs = [local]
+                for rank in range(1, comm.size):
+                    pairs.append(comm.recv(source=rank, tag=self._data_tag(batch_id)))
+                with tracer.span("gather") as gspan:
+                    with clock.compute(category="gather"):
+                        hits = server._assemble_result(pairs, partial_ok)
+                    if tracer.enabled:
+                        gspan.set(
+                            batch=batch_id, rows=sum(len(r) for r, _ in pairs)
+                        )
+            else:
+                rows = local
+                for rank in range(1, comm.size):
+                    rows.extend(comm.recv(source=rank, tag=self._data_tag(batch_id)))
+                with tracer.span("gather") as gspan:
+                    with clock.compute(category="gather"):
+                        hits = server._dedup(rows)
+                    if tracer.enabled:
+                        gspan.set(batch=batch_id, rows=len(rows))
             server._charge_phase("gather", t)
             results[batch_id] = hits
             metrics[batch_id] = BatchMetrics(
@@ -312,6 +357,8 @@ class AsyncStoreFrontend:
         self,
         batches: Optional[Sequence[Sequence[Tuple[Any, Envelope]]]],
         exact: bool = True,
+        partial_ok: bool = False,
+        deadline: Optional[float] = None,
     ) -> Optional[FrontendResult]:
         """The comparison baseline: the same batches submitted one by one
         through the server's strict collective path (collective; identical
@@ -322,18 +369,23 @@ class AsyncStoreFrontend:
         clock = comm.clock
         if comm.rank == 0 and batches is None:
             raise ValueError("rank 0 must supply the batch sequence")
-        num_batches = comm.bcast(len(batches) if comm.rank == 0 else None, root=0)
+        num_batches, partial_ok, deadline = comm.bcast(
+            (len(batches), partial_ok, deadline) if comm.rank == 0 else None,
+            root=0,
+        )
         start = clock.now
 
-        results: List[List[DistributedHit]] = []
+        results: List[Any] = []
         metrics: List[BatchMetrics] = []
         latency_hist = self.server.metrics.histogram("frontend.batch_latency_seconds")
         for b in range(num_batches):
             submitted = clock.now
             batch = list(batches[b]) if comm.rank == 0 else None
-            hits = self.server.range_query_batch(batch, exact=exact)
+            hits = self.server.range_query_batch(
+                batch, exact=exact, partial_ok=partial_ok, deadline=deadline
+            )
             if comm.rank == 0:
-                results.append(hits or [])
+                results.append(hits if hits is not None else [])
                 metrics.append(
                     BatchMetrics(
                         batch_id=b,

@@ -33,6 +33,7 @@ __all__ = [
     "ShardsManifest",
     "store_paths",
     "delta_paths",
+    "replica_store_name",
     "shard_store_name",
     "shards_path",
 ]
@@ -68,6 +69,13 @@ def shard_store_name(name: str, shard_id: int) -> str:
     """Store name of one shard of a sharded store (a normal store nested
     under the parent's directory, so each shard is openable on its own)."""
     return f"{name}/shard-{shard_id:04d}"
+
+
+def replica_store_name(name: str, shard_id: int, replica: int) -> str:
+    """Store name of one read replica of a shard — a full copy of the shard
+    store written beside it, which serving fails over to when the primary
+    is unreadable."""
+    return f"{name}/shard-{shard_id:04d}-replica-{replica:02d}"
 
 
 def shards_path(name: str) -> str:
@@ -329,6 +337,27 @@ class ShardInfo:
     num_pages: int = 0
     #: delta generations currently stacked on the shard store (0 = compact)
     num_generations: int = 0
+    #: read-replica store names in failover order (full copies of the shard
+    #: store, written by ``ShardedStoreWriter(read_replicas=n)`` and kept in
+    #: sync by the sharded appender/compactor)
+    replica_stores: List[str] = field(default_factory=list)
+
+
+def _shard_to_json(s: "ShardInfo") -> Dict:
+    doc = {
+        "id": s.shard_id,
+        "store": s.store,
+        "partitions": s.partition_ids,
+        "extent": _env_to_json(s.extent),
+        "records": s.num_records,
+        "replicas": s.num_replicas,
+        "pages": s.num_pages,
+        "generations": s.num_generations,
+    }
+    # written only when present, so replica-less manifests stay byte-stable
+    if s.replica_stores:
+        doc["replica_stores"] = list(s.replica_stores)
+    return doc
 
 
 @dataclass
@@ -388,19 +417,7 @@ class ShardsManifest:
             "num_records": self.num_records,
             "extent": _env_to_json(self.extent),
             "grid": {"rows": self.grid_rows, "cols": self.grid_cols},
-            "shards": [
-                {
-                    "id": s.shard_id,
-                    "store": s.store,
-                    "partitions": s.partition_ids,
-                    "extent": _env_to_json(s.extent),
-                    "records": s.num_records,
-                    "replicas": s.num_replicas,
-                    "pages": s.num_pages,
-                    "generations": s.num_generations,
-                }
-                for s in self.shards
-            ],
+            "shards": [_shard_to_json(s) for s in self.shards],
         }
         if self.next_record_id is not None:
             doc["next_record_id"] = self.next_record_id
@@ -434,6 +451,7 @@ class ShardsManifest:
                 num_replicas=s["replicas"],
                 num_pages=s["pages"],
                 num_generations=s.get("generations", 0),
+                replica_stores=list(s.get("replica_stores", [])),
             )
             for s in doc["shards"]
         ]

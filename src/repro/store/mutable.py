@@ -44,7 +44,14 @@ from ..geometry import Envelope, Geometry
 from ..index import STRtree, UniformGrid
 from ..obs.trace import NULL_TRACER
 from ..pfs import ReadRequest, SimulatedFilesystem
-from .format import HEADER_SIZE, StoreError, pack_header, pack_page_directory
+from .format import (
+    FLAG_PAGE_CHECKSUMS,
+    HEADER_SIZE,
+    StoreError,
+    pack_header,
+    pack_page_checksums,
+    pack_page_directory,
+)
 from .index_io import dump_index
 from .manifest import (
     MANIFEST_VERSION,
@@ -57,6 +64,7 @@ from .manifest import (
     store_paths,
 )
 from .router import ShardRouter
+from .scheduler import DEFAULT_RETRY, read_file_with_retry
 from .writer import (
     PackedPartitions,
     _Rec,
@@ -157,8 +165,7 @@ class StoreAppender:
                 f"store {name!r} is missing {self.paths['manifest']!r}; "
                 f"run bulk_load first"
             )
-        with fs.open(self.paths["manifest"]) as fh:
-            raw = fh.pread(0, fh.size)
+        raw, _, _ = read_file_with_retry(fs, self.paths["manifest"], DEFAULT_RETRY)
         self.manifest = StoreManifest.from_json(raw.decode("utf-8"))
 
     # ------------------------------------------------------------------ #
@@ -315,11 +322,13 @@ class StoreAppender:
                 len(packed.record_ids),
                 HEADER_SIZE + sum(len(p) for p in packed.payloads),
                 version=2,
+                flags=FLAG_PAGE_CHECKSUMS,
             )
             data = (
                 header
                 + b"".join(packed.payloads)
                 + pack_page_directory(packed.page_metas)
+                + pack_page_checksums(packed.page_metas)
             )
             tree: STRtree = STRtree(packed.index_entries, node_capacity=self.node_capacity)
             index_blob = dump_index(tree)
@@ -570,8 +579,7 @@ class ShardedStoreAppender:
                 f"sharded store {name!r} is missing {path!r}; "
                 f"run ShardedStoreWriter.load first"
             )
-        with fs.open(path) as fh:
-            raw = fh.pread(0, fh.size)
+        raw, _, _ = read_file_with_retry(fs, path, DEFAULT_RETRY)
         self.manifest = ShardsManifest.from_json(raw.decode("utf-8"))
 
     # ------------------------------------------------------------------ #
@@ -658,6 +666,27 @@ class ShardedStoreAppender:
             result.shard_results[shard.shard_id] = res
             result.routed[shard.shard_id] = len(recs)
             result.write_seconds += res.write_seconds
+            # mirror to the shard's read replicas: same records, ids,
+            # tombstones, grid and ceiling — packing is deterministic, so
+            # every replica grows a byte-identical delta generation and
+            # stays a drop-in failover copy
+            for replica in shard.replica_stores:
+                replica_res = StoreAppender(
+                    self.fs,
+                    replica,
+                    order=self.order,
+                    node_capacity=self.node_capacity,
+                    grid=router.grid,
+                    allowed_partitions=shard.partition_ids,
+                    count_deletes=False,
+                    cell_tree=router.cell_tree(),
+                ).append(
+                    [g for _, g in recs],
+                    deletes=delete_ids,
+                    record_ids=[rid for rid, _ in recs],
+                    id_ceiling=ceiling,
+                )
+                result.write_seconds += replica_res.write_seconds
             if res.gen_id is not None:
                 shard.num_generations += 1
             shard.num_records += len({rid for rid, _ in recs})
@@ -707,8 +736,7 @@ def compact_sharded_store(
     record count from the union of surviving record ids.
     """
     path = shards_path(name)
-    with fs.open(path) as fh:
-        raw = fh.pread(0, fh.size)
+    raw, _, _ = read_file_with_retry(fs, path, DEFAULT_RETRY)
     manifest = ShardsManifest.from_json(raw.decode("utf-8"))
     if manifest.next_record_id is None and manifest.num_records:
         # legacy shards.json: recover the true global ceiling before it gets
@@ -764,6 +792,31 @@ def compact_sharded_store(
             if info.num_pages:
                 for p in delta_paths(shard.store, info.gen_id).values():
                     fs.remove(p)
+        # rewrite each read replica from the same packed pages and drop its
+        # delta files, so replicas never serve pre-compaction state
+        for replica in shard.replica_stores:
+            r_raw, _, _ = read_file_with_retry(
+                fs, store_paths(replica)["manifest"], DEFAULT_RETRY
+            )
+            r_manifest = StoreManifest.from_json(r_raw.decode("utf-8"))
+            _rm, _rp, _rdb, _rib, replica_ws = write_store_files(
+                fs,
+                replica,
+                packed,
+                page_size=manifest.page_size,
+                extent=packed.data_extent,
+                grid_rows=grid.rows,
+                grid_cols=grid.cols,
+                num_records=len(packed.record_ids),
+                node_capacity=node_capacity,
+                format_version=2,
+                next_record_id=manifest.record_id_ceiling,
+            )
+            write_seconds += replica_ws
+            for info in r_manifest.generations:
+                if info.num_pages:
+                    for p in delta_paths(replica, info.gen_id).values():
+                        fs.remove(p)
         shard.extent = packed.data_extent
         shard.num_records = len(packed.record_ids)
         shard.num_replicas = packed.num_replicas

@@ -22,9 +22,11 @@ from ..geometry import Envelope, Geometry, wkb
 from .format import (
     _PAGE_COUNT,
     _RECORD_PREFIX,
+    PageChecksumError,
     StoreFormatError,
     decode_envelope_column,
     decode_record_body,
+    page_crc32,
 )
 
 __all__ = ["CachedPage"]
@@ -38,6 +40,12 @@ class CachedPage:
     memoises it.  *on_decode* is called with the number of records actually
     decoded, which is how the store's ``records_decoded`` statistic counts
     refine-phase work instead of page-touch work.
+
+    *expected_crc* (from the container's checksum table) is verified against
+    the payload **before** any parsing: a corrupted page raises
+    :class:`~repro.store.format.PageChecksumError` even when the damage
+    would still parse — a bit-flip inside a WKB coordinate decodes into a
+    perfectly valid wrong geometry, and only the checksum can tell.
     """
 
     __slots__ = (
@@ -58,7 +66,16 @@ class CachedPage:
         payload: bytes,
         version: int,
         on_decode: Optional[Callable[[int], None]] = None,
+        expected_crc: Optional[int] = None,
     ) -> None:
+        if expected_crc is not None:
+            actual = page_crc32(payload)
+            if actual != expected_crc:
+                raise PageChecksumError(
+                    f"page {page_id} failed its checksum: crc32 {actual:#010x}, "
+                    f"expected {expected_crc:#010x}",
+                    page_id=page_id,
+                )
         self.page_id = page_id
         self.version = version
         self.payload = payload

@@ -35,9 +35,94 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..pfs import IOCostModel, ReadRequest, StripeLayout
-from .format import PageMeta
+from .format import PageMeta, StoreError, StoreFormatError
 
-__all__ = ["IOSchedule", "IOScheduler", "ScheduledRun", "cost_model_gap"]
+__all__ = [
+    "DEFAULT_RETRY",
+    "IOSchedule",
+    "IOScheduler",
+    "NO_RETRY",
+    "RetryPolicy",
+    "ScheduledRun",
+    "cost_model_gap",
+    "read_file_with_retry",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient read faults.
+
+    The serving path re-issues a failed coalesced run up to
+    ``max_attempts`` times in total; before retry *n* (1-based) it charges
+    ``backoff(n)`` **virtual** seconds to the store's ``io_seconds`` — the
+    simulated analogue of sleeping out a transient fault, so backoff shows
+    up in latency distributions without ever stalling the real test run.
+    Retryable faults are raised ``OSError``\\ s, short reads and page
+    checksum mismatches; structural decode errors are not retried (the
+    bytes parsed deterministically wrong, a re-read cannot help unless the
+    checksum says the bytes themselves are suspect).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.002
+    backoff_multiplier: float = 4.0
+    backoff_max: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Virtual seconds to wait before retry *attempt* (1-based)."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier ** (attempt - 1),
+        )
+
+
+#: single-attempt policy: any read fault is immediately fatal
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+#: serving default: 3 attempts, 2 ms / 8 ms virtual backoff
+DEFAULT_RETRY = RetryPolicy()
+
+
+def read_file_with_retry(
+    fs, path: str, policy: RetryPolicy = DEFAULT_RETRY
+) -> Tuple[bytes, float, int]:
+    """Read a whole simulated file, absorbing transient open/read faults.
+
+    The metadata analogue of the run-level retry in the datastore: manifest,
+    index and ``shards.json`` reads go through here so a transient fault
+    during *open* does not kill the store before serving even starts.
+    Returns ``(data, backoff_seconds, retries)`` — the caller charges the
+    virtual backoff to its own I/O accounting.  Exhausted attempts raise
+    :class:`~repro.store.format.StoreError` with the last fault chained.
+    """
+    waited = 0.0
+    retries = 0
+    attempt = 1
+    while True:
+        err: Exception
+        try:
+            with fs.open(path) as fh:
+                size = fh.size
+                data = fh.pread(0, size)
+            if len(data) == size:
+                return data, waited, retries
+            err = StoreFormatError(
+                f"short read of {path!r}: got {len(data)} of {size} bytes"
+            )
+        except OSError as exc:
+            err = exc
+        if attempt >= policy.max_attempts:
+            raise StoreError(
+                f"reading {path!r} failed after {attempt} attempt(s): {err}"
+            ) from err
+        waited += policy.backoff(attempt)
+        retries += 1
+        attempt += 1
 
 
 def cost_model_gap(layout: StripeLayout, cost_model: IOCostModel) -> int:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import pickle
 import struct
 from contextlib import ExitStack, contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..geometry import Envelope, Geometry, predicates
@@ -36,8 +36,15 @@ from ..obs.metrics import MetricsRegistry, merge_snapshots
 from ..obs.trace import NULL_TRACER, Tracer
 from ..pfs import ReadRequest, SimulatedFilesystem
 from .datastore import QueryHit, SpatialDataStore
+from .engine import DeadlineExceeded
 from .format import VERSION, StoreError, StoreFormatError
-from .manifest import ShardInfo, ShardsManifest, shard_store_name, shards_path
+from .manifest import (
+    ShardInfo,
+    ShardsManifest,
+    replica_store_name,
+    shard_store_name,
+    shards_path,
+)
 from .router import ShardRouter, shard_assignment
 from .writer import (
     BulkLoadResult,
@@ -49,6 +56,7 @@ from .writer import (
 __all__ = [
     "DistributedHit",
     "DistributedStoreServer",
+    "QueryResult",
     "ShardError",
     "ShardedLoadResult",
     "ShardedStoreWriter",
@@ -70,8 +78,11 @@ Predicate = Callable[[Geometry, Geometry], bool]
 SERVING_PHASES = ("route", "scatter", "local_query", "gather")
 
 #: low-level exceptions a corrupted shard file may surface as; the server
-#: converts them into a StoreError naming the shard
+#: converts them into a StoreError naming the shard.  StoreError covers
+#: checksum / quarantine / retry-exhaustion failures raised by the page
+#: cache itself, so a bit-flipped page is still attributed to its shard.
 _SHARD_DECODE_ERRORS = (
+    StoreError,
     StoreFormatError,
     struct.error,
     pickle.UnpicklingError,
@@ -159,11 +170,14 @@ class ShardedStoreWriter:
         node_capacity: int = 16,
         order: str = "hilbert",
         format_version: int = VERSION,
+        read_replicas: int = 0,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if page_size < 64:
             raise ValueError("page_size must be >= 64 bytes")
+        if read_replicas < 0:
+            raise ValueError("read_replicas must be >= 0")
         self.fs = fs
         self.name = name
         self.num_shards = num_shards
@@ -172,6 +186,7 @@ class ShardedStoreWriter:
         self.node_capacity = node_capacity
         self.order = order
         self.format_version = format_version
+        self.read_replicas = read_replicas
 
     # ------------------------------------------------------------------ #
     def load(self, geometries: Iterable[Geometry]) -> ShardedLoadResult:
@@ -210,6 +225,27 @@ class ShardedStoreWriter:
             )
             write_seconds += shard_write
             total_replicas += packed.num_replicas
+            # read replicas: full copies of the shard store under distinct
+            # names, written from the same packed pages so they are
+            # byte-identical and any copy can substitute at serving time
+            replica_names: List[str] = []
+            for r in range(self.read_replicas):
+                replica = replica_store_name(self.name, shard_id, r)
+                _, _, _, _, replica_write = write_store_files(
+                    self.fs,
+                    replica,
+                    packed,
+                    page_size=self.page_size,
+                    extent=packed.data_extent,
+                    grid_rows=grid.rows,
+                    grid_cols=grid.cols,
+                    num_records=len(packed.record_ids),
+                    node_capacity=self.node_capacity,
+                    format_version=self.format_version,
+                    next_record_id=next_record_id,
+                )
+                write_seconds += replica_write
+                replica_names.append(replica)
             shard_infos.append(
                 ShardInfo(
                     shard_id=shard_id,
@@ -219,6 +255,7 @@ class ShardedStoreWriter:
                     num_records=len(packed.record_ids),
                     num_replicas=packed.num_replicas,
                     num_pages=len(packed.page_metas),
+                    replica_stores=replica_names,
                 )
             )
             shard_results.append(
@@ -289,6 +326,32 @@ class DistributedHit:
     page_id: int
 
 
+@dataclass
+class QueryResult:
+    """A distributed batch answer with explicit completeness accounting.
+
+    Returned by :meth:`DistributedStoreServer.range_query_batch` when the
+    caller opts into degraded serving (``partial_ok`` and/or ``deadline``).
+    ``complete=True`` means the hits are exactly what a fault-free run would
+    return; otherwise ``missing_shards`` / ``missing_partitions`` name the
+    data that could not be consulted and ``degraded_queries`` lists the
+    batch positions whose answers may be missing records.
+    """
+
+    hits: List[DistributedHit]
+    complete: bool = True
+    missing_shards: List[int] = field(default_factory=list)
+    missing_partitions: List[int] = field(default_factory=list)
+    degraded_queries: List[int] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[DistributedHit]:
+        return iter(self.hits)
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+
 class DistributedStoreServer:
     """SPMD facade serving one sharded store across ``mpisim`` ranks.
 
@@ -317,6 +380,7 @@ class DistributedStoreServer:
         io_policy: str = "fixed",
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        allow_degraded: bool = False,
     ) -> None:
         self.comm = comm
         self.fs = fs
@@ -338,20 +402,30 @@ class DistributedStoreServer:
         #: cumulative per-phase simulated seconds on this rank
         self.phases: Dict[str, float] = {name: 0.0 for name in SERVING_PHASES}
         self.queries_served = 0
+        #: with ``allow_degraded`` a shard whose primary *and* every replica
+        #: fail is recorded here instead of aborting the open/serving call;
+        #: degraded-mode queries report its partitions as missing
+        self.allow_degraded = allow_degraded
+        self.dead_shards: Dict[int, ShardError] = {}
+        self._open_knobs = dict(
+            cache_pages=cache_pages,
+            admission=admission,
+            coalesce_gap=coalesce_gap,
+            prefetch_pages=prefetch_pages,
+            io_policy=io_policy,
+        )
+        #: remaining untried replica store names per shard, in failover order
+        self._spare_stores: Dict[int, List[str]] = {
+            sid: list(manifest.shards[sid].replica_stores) for sid in self.my_shards
+        }
+        self._failovers = self.metrics.counter("server.failovers")
+        self._degraded = self.metrics.counter("server.degraded_queries")
+        #: final metric snapshots of stores retired by failover — without
+        #: them a failed primary's retries / checksum failures would vanish
+        #: from :meth:`aggregate_metrics` the moment it is replaced
+        self._retired_metrics: List[Dict[str, Any]] = []
         for sid in self.my_shards:
-            shard = manifest.shards[sid]
-            with self._shard_guard(shard, "open"):
-                self.stores[sid] = SpatialDataStore.open(
-                    fs,
-                    shard.store,
-                    cache_pages=cache_pages,
-                    admission=admission,
-                    coalesce_gap=coalesce_gap,
-                    prefetch_pages=prefetch_pages,
-                    io_policy=io_policy,
-                    tracer=self.tracer,
-                )
-            self.comm.clock.advance(self.stores[sid].stats.io_seconds, category="io")
+            self._open_with_failover(manifest.shards[sid])
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -367,6 +441,7 @@ class DistributedStoreServer:
         io_policy: str = "fixed",
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        allow_degraded: bool = False,
     ) -> "DistributedStoreServer":
         """Collectively open a sharded store: rank 0 reads ``shards.json``
         and broadcasts it, then every rank opens its assigned shards (delta
@@ -408,6 +483,7 @@ class DistributedStoreServer:
             io_policy=io_policy,
             tracer=tracer,
             metrics=metrics,
+            allow_degraded=allow_degraded,
         )
 
     def close(self) -> None:
@@ -439,6 +515,99 @@ class DistributedStoreServer:
                 shard_id=shard.shard_id,
                 store=shard.store,
             ) from exc
+
+    # ------------------------------------------------------------------ #
+    # replica failover
+    # ------------------------------------------------------------------ #
+    def _open_store(self, shard: ShardInfo, store_name: str) -> SpatialDataStore:
+        store = SpatialDataStore.open(
+            self.fs, store_name, tracer=self.tracer, **self._open_knobs
+        )
+        self.comm.clock.advance(store.stats.io_seconds, category="io")
+        return store
+
+    def _open_with_failover(self, shard: ShardInfo) -> Optional[SpatialDataStore]:
+        """Open *shard* from its primary store, falling back to each read
+        replica in order.  All copies failing raises the primary's
+        ShardError — unless ``allow_degraded``, which records the shard as
+        dead and returns None (degraded queries then report its partitions
+        as missing instead of aborting)."""
+        sid = shard.shard_id
+        candidates = [shard.store] + self._spare_stores.get(sid, [])
+        first_error: Optional[ShardError] = None
+        for pos, store_name in enumerate(candidates):
+            try:
+                with self._shard_guard(shard, f"open ({store_name!r})"):
+                    try:
+                        store = self._open_store(shard, store_name)
+                    except OSError as exc:  # missing/unreadable file
+                        raise StoreError(str(exc)) from exc
+            except ShardError as exc:
+                if first_error is None:
+                    first_error = exc
+                if pos > 0:
+                    # a replica we tried is gone for good
+                    self._spare_stores[sid].remove(store_name)
+                continue
+            if pos > 0:
+                self._spare_stores[sid].remove(store_name)
+                self._failovers.inc()
+                with self.tracer.span(
+                    "failover", shard=sid, replica=store_name, action="open"
+                ):
+                    pass
+            return self._install(sid, store)
+        assert first_error is not None
+        if not self.allow_degraded:
+            raise first_error
+        self.dead_shards[sid] = first_error
+        self.stores.pop(sid, None)
+        return None
+
+    def _install(self, sid: int, store: SpatialDataStore) -> SpatialDataStore:
+        self.stores[sid] = store
+        return store
+
+    def _failover(self, sid: int, cause: Exception, action: str) -> bool:
+        """Replace shard *sid*'s store with the next untried replica after a
+        serving-time failure.  Returns True when a replacement is in place
+        (caller should retry), False when the shard is out of copies (it is
+        then recorded dead if degraded mode allows, else *cause* re-raises).
+        """
+        old = self.stores.pop(sid, None)
+        if old is not None:
+            self._retired_metrics.append(old.metrics.snapshot())
+            old.close()
+        shard = self.manifest.shards[sid]
+        while self._spare_stores.get(sid):
+            replica = self._spare_stores[sid][0]
+            try:
+                with self._shard_guard(shard, f"failover ({replica!r})"):
+                    try:
+                        store = self._open_store(shard, replica)
+                    except OSError as exc:
+                        raise StoreError(str(exc)) from exc
+            except ShardError:
+                self._spare_stores[sid].remove(replica)
+                continue
+            self._spare_stores[sid].remove(replica)
+            self._install(sid, store)
+            self._failovers.inc()
+            with self.tracer.span(
+                "failover", shard=sid, replica=replica, action=action
+            ):
+                pass
+            return True
+        err = cause if isinstance(cause, ShardError) else ShardError(
+            f"shard {sid} ({shard.store!r}) of store {self.manifest.name!r} "
+            f"failed during {action}: {cause}",
+            shard_id=sid,
+            store=shard.store,
+        )
+        if not self.allow_degraded:
+            raise err
+        self.dead_shards[sid] = err
+        return False
 
     # ------------------------------------------------------------------ #
     # phase bookkeeping
@@ -501,6 +670,7 @@ class DistributedStoreServer:
         local = merge_snapshots(
             [self.metrics.snapshot()]
             + [store.metrics.snapshot() for store in self.stores.values()]
+            + self._retired_metrics
         )
         return merge_snapshots(self.comm.allgather(local))
 
@@ -614,6 +784,23 @@ class DistributedStoreServer:
         kept = [e for e in entries if shard.extent.intersects(e[-1])]
         if not kept:
             return []
+        self._heat_counter(sid).inc(len(kept))
+        if sid in self.dead_shards:
+            raise self.dead_shards[sid]
+        while True:
+            try:
+                with self._shard_guard(shard, action):
+                    batches = self.stores[sid].range_query_batch(
+                        [(None, e[-1]) for e in kept], exact=exact
+                    )
+                break
+            except ShardError as exc:
+                # a replica may still hold an intact copy of the bad page
+                if not self._failover(sid, exc, action):
+                    raise
+        return list(zip(kept, batches))
+
+    def _heat_counter(self, sid: int) -> Any:
         # per-shard query heat: one tick per batch entry this shard actually
         # serves (the rebalancer-facing twin of the engine's partition heat)
         counter = self._shard_heat.get(sid)
@@ -621,12 +808,7 @@ class DistributedStoreServer:
             counter = self._shard_heat[sid] = self.metrics.counter(
                 "server.shard_heat", shard=sid
             )
-        counter.inc(len(kept))
-        with self._shard_guard(shard, action):
-            batches = self.stores[sid].range_query_batch(
-                [(None, e[-1]) for e in kept], exact=exact
-            )
-        return list(zip(kept, batches))
+        return counter
 
     def _local_query(
         self, plan: List[Tuple[int, Any, Envelope]], exact: bool
@@ -642,6 +824,115 @@ class DistributedStoreServer:
                          hit.page_id, hit.geometry)
                     )
         return out
+
+    def _local_query_outcome(
+        self,
+        plan: List[Tuple[int, Any, Envelope]],
+        exact: bool,
+        deadline: Optional[float],
+    ) -> Tuple[
+        List[Tuple[int, Any, int, int, int, int, Geometry]],
+        List[Tuple[int, List[int], List[int], str, bool]],
+    ]:
+        """Degraded-mode twin of :meth:`_local_query`.
+
+        Serves this rank's shards through the store engine's collecting path
+        (:meth:`SpatialDataStore.query_outcome`): page failures are gathered
+        instead of raised, replica failover is attempted for hard faults,
+        and whatever data cannot be recovered is reported as a failure tuple
+        ``(shard_id, missing_partitions, affected_batch_positions, cause,
+        fatal)`` — *fatal* is False when only the per-shard I/O *deadline*
+        (simulated seconds) was exceeded, so callers can tell truncation
+        from corruption.
+        """
+        rows: List[Tuple[int, Any, int, int, int, int, Geometry]] = []
+        failures: List[Tuple[int, List[int], List[int], str, bool]] = []
+        for sid in self.my_shards:
+            shard = self.manifest.shards[sid]
+            if shard.extent.is_empty:
+                continue
+            kept = [e for e in plan if shard.extent.intersects(e[-1])]
+            if not kept:
+                continue
+            self._heat_counter(sid).inc(len(kept))
+            if sid in self.dead_shards:
+                failures.append(
+                    (
+                        sid,
+                        list(shard.partition_ids),
+                        sorted({e[0] for e in kept}),
+                        str(self.dead_shards[sid]),
+                        True,
+                    )
+                )
+                continue
+            outcome = None
+            while True:
+                try:
+                    with self._shard_guard(shard, "query"):
+                        outcome = self.stores[sid].query_outcome(
+                            [(None, e[-1]) for e in kept],
+                            exact=exact,
+                            partial_ok=True,
+                            budget=deadline,
+                        )
+                except ShardError as exc:
+                    if self._failover(sid, exc, "query"):
+                        continue  # fresh replica store — replay the batch
+                    failures.append(
+                        (
+                            sid,
+                            list(shard.partition_ids),
+                            sorted({e[0] for e in kept}),
+                            str(exc),
+                            True,
+                        )
+                    )
+                    break
+                if not outcome.complete:
+                    hard = [
+                        exc
+                        for _, exc in outcome.failed_pages
+                        if not isinstance(exc, DeadlineExceeded)
+                    ]
+                    if hard and self._spare_stores.get(sid):
+                        if self._failover(sid, hard[0], "query"):
+                            outcome = None
+                            continue
+                        failures.append(
+                            (
+                                sid,
+                                list(shard.partition_ids),
+                                sorted({e[0] for e in kept}),
+                                str(self.dead_shards[sid]),
+                                True,
+                            )
+                        )
+                        outcome = None
+                break
+            if outcome is None:
+                continue
+            for (idx, qid, window), hits in zip(kept, outcome.hits):
+                for hit in hits:
+                    rows.append(
+                        (idx, qid, hit.record_id, sid, hit.partition_id,
+                         hit.page_id, hit.geometry)
+                    )
+            if not outcome.complete:
+                affected = sorted({kept[pos][0] for pos in outcome.incomplete_queries})
+                fatal = any(
+                    not isinstance(exc, DeadlineExceeded)
+                    for _, exc in outcome.failed_pages
+                )
+                cause = (
+                    str(outcome.failed_pages[0][1])
+                    if outcome.failed_pages
+                    else "incomplete"
+                )
+                failures.append(
+                    (sid, list(outcome.missing_partitions), affected, cause, fatal)
+                )
+        return rows, failures
 
     @staticmethod
     def _dedup(
@@ -757,12 +1048,25 @@ class DistributedStoreServer:
         queries: Optional[Sequence[Tuple[Any, Envelope]]],
         exact: bool = True,
         broadcast: bool = False,
-    ) -> Optional[List[DistributedHit]]:
+        partial_ok: bool = False,
+        deadline: Optional[float] = None,
+    ) -> Optional[Any]:
         """Serve a batch of ``(query_id, window)`` range queries (collective).
 
         Rank 0 supplies *queries* and receives the de-duplicated hits sorted
         by ``(batch position, record_id)``; other ranks pass ``None`` and get
         ``None`` back unless ``broadcast`` is set.
+
+        With ``partial_ok`` and/or ``deadline`` set (collectively — every
+        rank must pass the same values) the call returns a
+        :class:`QueryResult` instead of a plain hit list: page faults that
+        survive retry and replica failover, dead shards (see
+        ``allow_degraded``) and per-shard I/O budget exhaustion
+        (``deadline``, simulated seconds per shard) no longer abort the
+        collective but are reported through ``complete`` /
+        ``missing_shards`` / ``missing_partitions`` / ``degraded_queries``.
+        ``partial_ok=False`` with a *deadline* tolerates truncation but
+        still raises on hard faults.
         """
 
         def build_plan() -> List[List[Tuple[int, Any, Envelope]]]:
@@ -771,11 +1075,64 @@ class DistributedStoreServer:
             self.queries_served += len(queries)
             return self.router.plan(list(queries), self.assignment, self.comm.size)
 
+        if not partial_ok and deadline is None:
+            return self._collective_serve(
+                build_plan,
+                lambda mine: self._local_query(mine, exact),
+                self._dedup,
+                broadcast,
+            )
+
+        # outcome mode: each rank ships one (rows, failures) pair; the
+        # single-element list keeps _collective_serve's chunk flattening
+        # yielding exactly one pair per rank
         return self._collective_serve(
             build_plan,
-            lambda mine: self._local_query(mine, exact),
-            self._dedup,
+            lambda mine: [self._local_query_outcome(mine, exact, deadline)],
+            lambda pairs: self._assemble_result(pairs, partial_ok),
             broadcast,
+        )
+
+    def _assemble_result(
+        self,
+        pairs: List[
+            Tuple[
+                List[Tuple[int, Any, int, int, int, int, Geometry]],
+                List[Tuple[int, List[int], List[int], str, bool]],
+            ]
+        ],
+        partial_ok: bool,
+    ) -> QueryResult:
+        rows = [row for rank_rows, _ in pairs for row in rank_rows]
+        failures = [f for _, rank_failures in pairs for f in rank_failures]
+        if not partial_ok:
+            for sid, _, _, cause, fatal in failures:
+                if fatal:
+                    shard = self.manifest.shards[sid]
+                    raise ShardError(
+                        f"shard {sid} ({shard.store!r}) of store "
+                        f"{self.manifest.name!r} failed during query: {cause}",
+                        shard_id=sid,
+                        store=shard.store,
+                    )
+        hits = self._dedup(rows)
+        missing_shards = sorted(
+            {sid for sid, parts, _, _, fatal in failures if fatal and parts}
+        )
+        missing_partitions = sorted(
+            {p for _, parts, _, _, _ in failures for p in parts if p >= 0}
+        )
+        degraded = sorted({pos for _, _, positions, _, _ in failures for pos in positions})
+        messages = [f"shard {sid}: {cause}" for sid, _, _, cause, _ in failures]
+        if degraded:
+            self._degraded.inc(len(degraded))
+        return QueryResult(
+            hits=hits,
+            complete=not failures,
+            missing_shards=missing_shards,
+            missing_partitions=missing_partitions,
+            degraded_queries=degraded,
+            failures=messages,
         )
 
     def join(
@@ -846,6 +1203,8 @@ class DistributedStoreServer:
         out: List[Tuple[int, Geometry]] = []
         for sid in self.my_shards:
             shard = self.manifest.shards[sid]
+            if sid in self.dead_shards:  # scans need every owned record
+                raise self.dead_shards[sid]
             owned = set(shard.partition_ids)
             store = self.stores[sid]
             with self._shard_guard(shard, "scan"):

@@ -3,6 +3,8 @@ silently corrupt data) when components misbehave."""
 
 import pytest
 
+import time
+
 from repro import mpisim
 from repro.core import (
     GridPartitionConfig,
@@ -12,10 +14,17 @@ from repro.core import (
     WKTParser,
 )
 from repro.datasets import generate_dataset, random_envelopes
+from repro.faults import FaultRule, FaultyFilesystem
 from repro.geometry import Envelope, Polygon
 from repro.mpisim import MPIAbortError, ops
 from repro.pfs import LustreFilesystem
-from repro.store import DistributedStoreServer, StoreError, sharded_bulk_load
+from repro.store import (
+    DistributedStoreServer,
+    QueryResult,
+    ShardedStoreWriter,
+    StoreError,
+    sharded_bulk_load,
+)
 
 
 @pytest.fixture
@@ -200,3 +209,147 @@ class TestCorruptShardServing:
         assert sorted(h.record_id for h in res.values[0]) == list(
             range(result.num_records)
         )
+
+
+class TestInjectedFaultServing:
+    """End-to-end fault drills over a replicated sharded store: seeded
+    transient read errors and silent record-body bit-flips injected under
+    distributed serving must be absorbed — retried, caught by the page
+    checksums, quarantined, recovered from read replicas — without changing
+    query results."""
+
+    NAME = "drill"
+    WINDOW = Envelope(0.0, 0.0, 100.0, 100.0)
+
+    @pytest.fixture
+    def replicated(self, tmp_path):
+        fs = LustreFilesystem(tmp_path / "lustre")
+        geoms = [
+            Polygon.from_envelope(env, userdata=i)
+            for i, env in enumerate(
+                random_envelopes(60, extent=self.WINDOW,
+                                 max_size_fraction=0.1, seed=6)
+            )
+        ]
+        result = ShardedStoreWriter(
+            fs, self.NAME, num_shards=4, num_partitions=16, page_size=512,
+            read_replicas=1,
+        ).load(geoms)
+        return fs, result
+
+    def _serve(self, fs, nprocs=4, faulty=None, allow_degraded=False,
+               partial_ok=False):
+        """Serve the full window once; with *faulty*, faults are armed for
+        the query phase only (rank 0 flips the shared switch between
+        barriers) so injection hits the serving path, not the opens."""
+
+        def prog(comm):
+            with DistributedStoreServer.open(
+                comm, faulty if faulty is not None else fs, self.NAME,
+                allow_degraded=allow_degraded,
+            ) as server:
+                comm.barrier()
+                if faulty is not None and comm.rank == 0:
+                    faulty.arm()
+                comm.barrier()
+                res = server.range_query_batch(
+                    [(0, self.WINDOW)] if comm.rank == 0 else None,
+                    partial_ok=partial_ok,
+                )
+                comm.barrier()
+                if faulty is not None and comm.rank == 0:
+                    faulty.disarm()
+                comm.barrier()
+                return res, server.aggregate_metrics()
+
+        if faulty is not None:
+            faulty.disarm()
+        return mpisim.run_spmd(prog, nprocs).values[0]
+
+    @staticmethod
+    def _ids(hits):
+        return sorted((h.record_id, h.shard_id) for h in hits)
+
+    @pytest.mark.parametrize("nprocs", (1, 2, 4))
+    def test_bitflips_detected_quarantined_and_recovered(self, replicated, nprocs):
+        fs, result = replicated
+        clean, _ = self._serve(fs, nprocs=nprocs)
+        # flip one bit in every record-body read of every *primary* shard
+        # container (the ???? pattern leaves the replica copies clean)
+        faulty = FaultyFilesystem(fs, rules=[FaultRule(
+            path_pattern=f"stores/{self.NAME}/shard-????/data.bin",
+            bitflip_rate=1.0,
+        )], seed=11)
+
+        hits, metrics = self._serve(fs, nprocs=nprocs, faulty=faulty)
+        assert self._ids(hits) == self._ids(clean)
+        counters = metrics["counters"]
+        assert counters["store.checksum_failures"] >= 1
+        assert counters["server.failovers"] >= 1
+        assert faulty.stats.bitflips >= 1
+        assert not faulty.armed  # the drill disarmed after the query phase
+
+    def test_ten_percent_read_faults_match_fault_free_at_4_ranks(self, replicated):
+        fs, result = replicated
+        clean, _ = self._serve(fs, nprocs=4)
+        faulty = FaultyFilesystem(fs, rules=[FaultRule(
+            path_pattern=f"stores/{self.NAME}/*",
+            read_error_rate=0.1,
+        )], seed=13)
+
+        hits, metrics = self._serve(fs, nprocs=4, faulty=faulty)
+        assert self._ids(hits) == self._ids(clean)
+        assert faulty.stats.read_errors >= 1
+        assert metrics["counters"]["store.retries"] >= 1
+
+    def test_injected_dead_shard_partial_ok_reports_exact_partitions(self, replicated):
+        fs, result = replicated
+        victim = next(s for s in result.manifest.shards if s.num_pages > 0)
+        # every read of the victim's primary AND replica containers fails,
+        # so retry, then failover, then degraded mode all get exercised
+        faulty = FaultyFilesystem(fs, rules=[FaultRule(
+            path_pattern=f"stores/{victim.store}*/data.bin",
+            read_error_rate=1.0,
+        )], seed=17)
+
+        res, metrics = self._serve(
+            fs, nprocs=4, faulty=faulty, allow_degraded=True, partial_ok=True
+        )
+        assert isinstance(res, QueryResult)
+        assert not res.complete
+        assert res.missing_shards == [victim.shard_id]
+        assert res.missing_partitions == sorted(victim.partition_ids)
+        assert metrics["counters"]["server.degraded_queries"] == 1
+        assert {h.shard_id for h in res}.isdisjoint({victim.shard_id})
+        assert self._ids(res.hits)  # the surviving shards still answered
+
+
+class TestTimeoutDiagnosis:
+    """On timeout the launcher must say whether the live ranks are deadlocked
+    in communication or merely still computing — the two need opposite
+    fixes."""
+
+    def test_deadlock_names_blocked_ranks(self):
+        def prog(comm):
+            # circular wait: each rank receives from a peer that never sends
+            return comm.recv(source=(comm.rank + 1) % comm.size)
+
+        with pytest.raises(mpisim.MPIError, match="deadlock") as excinfo:
+            mpisim.run_spmd(prog, 2, timeout=0.75)
+        msg = str(excinfo.value)
+        assert "rank 0 in recv" in msg
+        assert "rank 1 in recv" in msg
+
+    def test_long_computation_is_not_reported_as_deadlock(self):
+        def prog(comm):
+            if comm.rank == 1:
+                deadline = time.monotonic() + 1.5
+                while time.monotonic() < deadline:
+                    time.sleep(0.05)
+            return comm.rank
+
+        with pytest.raises(mpisim.MPIError, match="still running") as excinfo:
+            mpisim.run_spmd(prog, 2, timeout=0.5)
+        msg = str(excinfo.value)
+        assert "rank(s) [1]" in msg
+        assert "all live ranks blocked" not in msg
