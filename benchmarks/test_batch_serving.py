@@ -150,3 +150,55 @@ def test_batch_query_page_dedup(lustre, batch_store, benchmark, once):
     assert stats["read_requests"] < stats["cache_hits"] + stats["cache_misses"]
     benchmark.extra_info["pages_read"] = float(stats["pages_read"])
     benchmark.extra_info["read_requests"] = float(stats["read_requests"])
+
+
+def test_warm_filter_path_speedup(lustre, batch_store, benchmark, once):
+    """PR 9: the vectorized surviving-slot filter vs the scalar per-slot
+    loop it replaced, on this benchmark's serving data packed into fat
+    (64 KiB) pages — the layout the envelope-column pass targets.
+
+    The filter stage is timed in isolation over warm pages (see
+    ``test_hot_path.py`` for the helpers and the end-to-end refine parity
+    benchmark); hit materialization and geometry decode are identical on
+    both sides and excluded.
+    """
+    import test_hot_path as hot
+
+    geometries = VectorIO(lustre).sequential_read(
+        "datasets/lakes_uniform.wkt"
+    ).geometries
+    if not lustre.exists("stores/bench_batch_lakes_fat/manifest.json"):
+        bulk_load(lustre, "bench_batch_lakes_fat", geometries,
+                  num_partitions=4, page_size=65536)
+
+    def driver():
+        store = SpatialDataStore.open(lustre, "bench_batch_lakes_fat",
+                                      cache_pages=512)
+        work, slots = hot.filter_workload(store, 12 if QUICK else 24)
+        executor = store.engine.executor
+        tombs = store._tombstone_gen
+        flat = lambda out: sorted(
+            (key, slot) for key, kept in out for slot in kept
+        )
+        for entry, pages in work:
+            assert flat(hot.bulk_filter(executor, tombs, entry, pages)) == \
+                flat(hot.scalar_filter(executor, tombs, entry, pages))
+
+        scalar_s, bulk_s = hot.time_filters(
+            executor, tombs, work, 5 if QUICK else 20
+        )
+        store.close()
+        return slots, scalar_s, bulk_s
+
+    slots, scalar_s, bulk_s = once(driver)
+    speedup = scalar_s / bulk_s
+    print(
+        f"\nwarm filter path: {slots} slots/pass, scalar "
+        f"{slots / scalar_s:,.0f} slots/s vs bulk {slots / bulk_s:,.0f} "
+        f"slots/s -> {speedup:.1f}x"
+    )
+    assert speedup >= (2.5 if QUICK else 5.0)
+    benchmark.extra_info["slots_per_pass"] = float(slots)
+    benchmark.extra_info["scalar_slots_per_second"] = float(slots / scalar_s)
+    benchmark.extra_info["bulk_slots_per_second"] = float(slots / bulk_s)
+    benchmark.extra_info["speedup"] = float(speedup)

@@ -26,7 +26,7 @@ from .polygon import Polygon
 
 Coord = Tuple[float, float]
 
-__all__ = ["dumps", "loads", "WKBParseError", "GEOM_TYPE_CODES"]
+__all__ = ["dumps", "loads", "envelope_bounds", "WKBParseError", "GEOM_TYPE_CODES"]
 
 GEOM_TYPE_CODES = {
     "Point": 1,
@@ -138,3 +138,86 @@ def loads(data: bytes) -> Geometry:
     reader = _Reader(data)
     geom = reader.read_geometry()
     return geom
+
+
+# --------------------------------------------------------------------------- #
+# envelope-only scan
+# --------------------------------------------------------------------------- #
+def _scan_bounds(data, offset: int, bounds: List[float]) -> int:
+    """Fold one geometry's coordinates into *bounds* without constructing
+    any geometry object; returns the offset past the geometry."""
+    if offset + 5 > len(data):
+        raise WKBParseError("truncated WKB payload")
+    (byte_order,) = struct.unpack_from("<b", data, offset)
+    endian = "<" if byte_order == _LE else ">"
+    (code,) = struct.unpack_from(f"{endian}I", data, offset + 1)
+    offset += 5
+    gtype = _CODE_TO_TYPE.get(code)
+    if gtype is None:
+        raise WKBParseError(f"unknown WKB geometry code {code}")
+
+    def fold_coords(off: int) -> int:
+        if off + 4 > len(data):
+            raise WKBParseError("truncated WKB payload")
+        (n,) = struct.unpack_from(f"{endian}I", data, off)
+        off += 4
+        if n:
+            if off + 16 * n > len(data):
+                raise WKBParseError("truncated WKB payload")
+            vals = struct.unpack_from(f"{endian}{2 * n}d", data, off)
+            off += 16 * n
+            xs, ys = vals[0::2], vals[1::2]
+            if min(xs) < bounds[0]:
+                bounds[0] = min(xs)
+            if min(ys) < bounds[1]:
+                bounds[1] = min(ys)
+            if max(xs) > bounds[2]:
+                bounds[2] = max(xs)
+            if max(ys) > bounds[3]:
+                bounds[3] = max(ys)
+        return off
+
+    if gtype == "Point":
+        if offset + 16 > len(data):
+            raise WKBParseError("truncated WKB payload")
+        x, y = struct.unpack_from(f"{endian}dd", data, offset)
+        if x < bounds[0]:
+            bounds[0] = x
+        if y < bounds[1]:
+            bounds[1] = y
+        if x > bounds[2]:
+            bounds[2] = x
+        if y > bounds[3]:
+            bounds[3] = y
+        return offset + 16
+    if gtype == "LineString":
+        return fold_coords(offset)
+    if gtype == "Polygon":
+        if offset + 4 > len(data):
+            raise WKBParseError("truncated WKB payload")
+        (nrings,) = struct.unpack_from(f"{endian}I", data, offset)
+        offset += 4
+        for _ in range(nrings):
+            offset = fold_coords(offset)
+        return offset
+    # multi / collection types recurse into full WKB members
+    if offset + 4 > len(data):
+        raise WKBParseError("truncated WKB payload")
+    (n,) = struct.unpack_from(f"{endian}I", data, offset)
+    offset += 4
+    for _ in range(n):
+        offset = _scan_bounds(data, offset, bounds)
+    return offset
+
+
+def envelope_bounds(data) -> Tuple[float, float, float, float]:
+    """``(minx, miny, maxx, maxy)`` of a WKB byte string via a raw
+    coordinate scan — no geometry objects are built, which is what lets a
+    v1 store page grow an envelope column without paying a full decode.
+    Accepts ``bytes`` or a ``memoryview``.  A geometry with no coordinates
+    yields the empty-envelope sentinel ``(inf, inf, -inf, -inf)``.
+    """
+    inf = float("inf")
+    bounds = [inf, inf, -inf, -inf]
+    _scan_bounds(data, 0, bounds)
+    return bounds[0], bounds[1], bounds[2], bounds[3]

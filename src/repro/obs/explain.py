@@ -104,6 +104,11 @@ class ExplainReport:
             f"{r.get('rect_shortcuts', 0)} rect shortcut(s) -> {self.num_hits} hit(s)"
         )
         lines.append(
+            f"  bulk filter: {r.get('slots_scanned', 0)} slot(s) scanned in "
+            f"{r.get('bulk_filter_batches', 0)} page batch(es), selectivity "
+            f"{r.get('filter_selectivity', 0.0):.3f}"
+        )
+        lines.append(
             f"  cache: {c.get('hits', 0)} hit(s) / {c.get('misses', 0)} miss(es) "
             f"during page fetch"
         )
@@ -138,6 +143,8 @@ def build_store_explain(
         "tombstone_drops": 0,
         "records_decoded": 0,
         "rect_shortcuts": 0,
+        "slots_scanned": 0,
+        "bulk_filter_batches": 0,
     }
     cache = {"hits": 0, "misses": 0}
     for row in rows:
@@ -160,8 +167,15 @@ def build_store_explain(
                 "tombstone_drops",
                 "records_decoded",
                 "rect_shortcuts",
+                "slots_scanned",
+                "bulk_filter_batches",
             ):
                 refine[key] += attrs.get(key, 0)
+    # bulk-filter selectivity: the fraction of scanned candidate slots that
+    # survived de-dup + tombstone shadowing (decode-eligible survivors)
+    scanned = refine["slots_scanned"]
+    survivors = scanned - refine["replicas_skipped"] - refine["tombstone_drops"]
+    refine["filter_selectivity"] = (survivors / scanned) if scanned else 0.0
     return ExplainReport(
         query={"kind": kind, "window": window, "exact": exact},
         plan=plan,
@@ -227,6 +241,14 @@ class DistributedExplainReport:
                 f"read_requests={row.get('read_requests', 0):g}, "
                 f"cache {row.get('cache_hits', 0):g}/"
                 f"{row.get('cache_misses', 0):g} hit/miss"
+            )
+        scanned = self.stats_delta.get("slots_scanned", 0)
+        if scanned:
+            decoded = self.stats_delta.get("records_decoded", 0)
+            lines.append(
+                f"  bulk filter: {scanned:g} slot(s) scanned in "
+                f"{self.stats_delta.get('bulk_filter_batches', 0):g} page "
+                f"batch(es), selectivity {decoded / scanned:.3f}"
             )
         delta = " ".join(
             f"{k}={v:g}" for k, v in sorted(self.stats_delta.items()) if v

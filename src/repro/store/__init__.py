@@ -80,7 +80,7 @@ from .format import (
     StoreHeader,
 )
 from .frontend import AsyncStoreFrontend, BatchMetrics, FrontendResult
-from .page import CachedPage
+from .page import CachedPage, RecordView
 from .index_io import dump_index, load_index
 from .scheduler import (
     DEFAULT_RETRY,
@@ -167,6 +167,7 @@ __all__ = [
     "StoreStats",
     "CacheStats",
     "CachedPage",
+    "RecordView",
     "LRUPageCache",
     "StoreError",
     "StoreFormatError",

@@ -147,6 +147,10 @@ class StoreStats:
         "checksum_failures",
         #: simulated seconds charged by the filesystem cost model (open + reads)
         "io_seconds",
+        #: candidate slots examined by the bulk refine filter
+        "slots_scanned",
+        #: per-page bulk filter passes (one per (query entry, page) pair)
+        "bulk_filter_batches",
     )
 
     __slots__ = ("registry", "cache") + tuple(f"_{n}" for n in _COUNTERS)
@@ -163,15 +167,7 @@ class StoreStats:
 
     def as_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {
-            "pages_read": self.pages_read,
-            "bytes_read": self.bytes_read,
-            "records_decoded": self.records_decoded,
-            "queries": self.queries,
-            "read_requests": self.read_requests,
-            "pages_prefetched": self.pages_prefetched,
-            "retries": self.retries,
-            "checksum_failures": self.checksum_failures,
-            "io_seconds": self.io_seconds,
+            name: getattr(self, name) for name in self._COUNTERS
         }
         out.update({f"cache_{k}": v for k, v in self.cache.as_dict().items()})
         return out
@@ -952,7 +948,8 @@ class SpatialDataStore:
     # queries (all routed through the staged engine)
     # ------------------------------------------------------------------ #
     def range_query(
-        self, window: Union[Envelope, Geometry], exact: bool = True
+        self, window: Union[Envelope, Geometry], exact: bool = True,
+        lazy: bool = False,
     ) -> List[QueryHit]:
         """Records intersecting *window*, de-duplicated across replicas.
 
@@ -963,14 +960,23 @@ class SpatialDataStore:
         executor decodes only candidate slots.  With ``exact`` the geometric
         predicate is evaluated (refine phase); otherwise the MBR test of the
         filter phase is the answer.
+
+        With ``lazy``, hits whose slot MBR is contained in a rectangular
+        window (the predicate is provably true) — and **every** hit when
+        ``exact=False`` — carry a zero-copy
+        :class:`~repro.store.page.RecordView` in their ``geometry`` field
+        instead of a decoded geometry; the WKB/pickle decode is deferred
+        until the view's ``.geometry`` is read.  Lazy hits are
+        process-local (they reference the cached page image).
         """
         self.stats.queries += 1
-        return self.engine.execute([(None, window)], exact=exact)[0]
+        return self.engine.execute([(None, window)], exact=exact, lazy=lazy)[0]
 
     def range_query_batch(
         self,
         queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
         exact: bool = True,
+        lazy: bool = False,
     ) -> List[List[QueryHit]]:
         """Serve a batch of ``(query_id, window)`` queries in one pass.
 
@@ -985,11 +991,12 @@ class SpatialDataStore:
         record decode it once.
 
         Returns one ``range_query``-identical hit list per query, in the
-        input order.
+        input order.  ``lazy`` defers decodes exactly as in
+        :meth:`range_query`.
         """
         queries = list(queries)
         self.stats.queries += len(queries)
-        return self.engine.execute(queries, exact=exact)
+        return self.engine.execute(queries, exact=exact, lazy=lazy)
 
     def query_outcome(
         self,
@@ -1081,7 +1088,15 @@ class SpatialDataStore:
         admit = self.admission != "no_scan"
         run_len = self._cache.capacity if self._cache.capacity > 0 else 16
         seen: set = set()
+        tombstones = self._tombstone_gen
         for gen in reversed(self.generations):
+            # ids shadowed at this generation, as one set (same shadowing
+            # rule as the engine's refine phase)
+            shadow = (
+                {rid for rid, tg in tombstones.items() if tg > gen.gen_id}
+                if tombstones
+                else set()
+            )
             for start in range(0, len(gen.pages), run_len):
                 keys = [
                     PageKey(gen.gen_id, pid)
@@ -1090,11 +1105,31 @@ class SpatialDataStore:
                 pages = self._get_pages(keys, admit=admit)
                 for key in keys:
                     page = pages[key]
-                    for slot in range(len(page)):
-                        record_id = page.record_ids[slot]
-                        if record_id in seen:
+                    ids = page.record_ids
+                    page_ids = set(ids)
+                    if len(page_ids) == len(ids):
+                        # bulk path: de-dup + tombstones as set operations
+                        # (ids are unique within a page — pages never span
+                        # partitions)
+                        live = page_ids - seen if seen else page_ids
+                        if shadow:
+                            live -= shadow
+                        if not live:
                             continue
-                        if self._tombstone_gen.get(record_id, -1) > gen.gen_id:
-                            continue
-                        seen.add(record_id)
-                        yield page.record(slot)
+                        seen |= live
+                        record = page.record
+                        if len(live) == len(ids):
+                            for slot in range(len(ids)):
+                                yield record(slot)
+                        else:
+                            for slot, rid in enumerate(ids):
+                                if rid in live:
+                                    yield record(slot)
+                    else:
+                        # duplicate ids within one page cannot come from the
+                        # writers; keep first-wins slot order anyway
+                        for slot, rid in enumerate(ids):
+                            if rid in seen or rid in shadow:
+                                continue
+                            seen.add(rid)
+                            yield page.record(slot)

@@ -176,6 +176,18 @@ class QueryPlanner:
         return QueryPlan(entries, visit_order, touched_pages)
 
 
+#: newest generation first, then page id — the shadowing walk order
+def _newest_first(key: PageKey) -> Tuple[int, int]:
+    return (-key[0], key[1])
+
+
+def _by_record_id(hit: "QueryHit") -> int:
+    return hit.record_id
+
+
+_EMPTY_SET: frozenset = frozenset()
+
+
 class RefineExecutor:
     """Refine phase over one plan entry's candidate slots.
 
@@ -189,23 +201,279 @@ class RefineExecutor:
     inside the window too, so the exact predicate is provably true without
     evaluating it — only valid for rectangles, which is why
     :class:`PlanEntry` keeps non-rectangular window geometries explicit.
+
+    Since PR 9 the filter runs **page-at-a-time with bulk operations**
+    instead of per-slot Python work:
+
+    * replica de-dup and tombstone shadowing are set operations over the
+      page's id column (``fresh = page_ids - seen``, ``live = fresh -
+      shadow``) — valid because pages never span partitions, so a record
+      id occurs at most once per page and its replicas always live on
+      *other* pages;
+    * the tombstone shadow for each generation (``{id: tombstoned by a
+      generation newer than g}``) is computed once and cached — the
+      tombstone map of an open store is immutable (appends require a
+      reopen), so the cache can never go stale;
+    * window containment is a page-level summary check first (window ⊇
+      page column bounds → every slot contained, zero per-slot work) and
+      otherwise one fused comparison pass over the four coordinate arrays.
+
+    The surviving-slot filter loop therefore performs **no per-slot dict or
+    attribute lookups** — only array gathers, set probes and fused
+    comparisons over locals.  :meth:`refine_reference` keeps the original
+    per-slot scalar loop as the correctness oracle for the property battery
+    and the benchmarks.
+
+    With ``lazy=True``, slots whose MBR containment already proves the
+    predicate (and *every* survivor when ``exact=False``) produce hits
+    whose ``geometry`` is a zero-copy
+    :class:`~repro.store.page.RecordView` over the cached payload instead
+    of a decoded geometry — nothing is WKB/pickle-decoded until the view's
+    ``.geometry`` is first read.
     """
 
     def __init__(
         self,
         partition_of_page: Dict[PageKey, int],
         tombstone_gen: Optional[Dict[int, int]] = None,
+        stats=None,
     ) -> None:
         self._partition_of_page = partition_of_page
         #: record id -> newest generation that tombstoned it
         self._tombstone_gen = tombstone_gen or {}
+        #: optional StoreStats to charge slots_scanned / bulk_filter_batches
+        self._stats = stats
+        #: generation -> frozenset of record ids shadowed at that generation
+        self._shadow_cache: Dict[int, frozenset] = {}
+
+    def _shadow(self, generation: int) -> frozenset:
+        """Record ids tombstoned by a generation newer than *generation*."""
+        if not self._tombstone_gen:
+            return _EMPTY_SET
+        shadow = self._shadow_cache.get(generation)
+        if shadow is None:
+            shadow = self._shadow_cache[generation] = frozenset(
+                rid
+                for rid, tg in self._tombstone_gen.items()
+                if tg > generation
+            )
+        return shadow
+
+    def _surviving_slots(
+        self,
+        page: CachedPage,
+        slots: List[int],
+        generation: int,
+        seen: set,
+    ) -> Tuple[List[int], int, int]:
+        """Bulk de-dup + tombstone shadowing for one page's candidates.
+
+        Returns ``(survivors, replicas_skipped, tombstone_drops)`` and
+        folds the surviving ids into *seen*.  All set operations — zero
+        per-slot dict probes on the common paths.
+        """
+        slot_ids = page.slot_ids(slots)
+        nslots = len(slots)
+        page_ids = set(slot_ids)
+        if len(page_ids) != nslots:
+            # a record id repeated *within* one page cannot come from the
+            # writers (pages never span partitions); only a hand-built plan
+            # can do this — preserve first-encounter-wins slot order
+            shadow = self._shadow(generation)
+            survivors: List[int] = []
+            replicas = tombs = 0
+            for slot, rid in zip(slots, slot_ids):
+                if rid in seen:
+                    replicas += 1
+                elif rid in shadow:
+                    tombs += 1
+                else:
+                    seen.add(rid)
+                    survivors.append(slot)
+            return survivors, replicas, tombs
+        fresh = page_ids - seen if seen else page_ids
+        shadow = self._shadow(generation)
+        live = fresh - shadow if shadow else fresh
+        nlive = len(live)
+        replicas = nslots - len(fresh)
+        tombs = len(fresh) - nlive
+        if not nlive:
+            return [], replicas, tombs
+        seen |= live
+        if nlive == nslots:
+            return slots, replicas, tombs
+        return (
+            [slot for slot, rid in zip(slots, slot_ids) if rid in live],
+            replicas,
+            tombs,
+        )
 
     def refine(
         self,
         entry: PlanEntry,
         pages: Dict[PageKey, CachedPage],
         exact: bool,
+        lazy: bool = False,
     ) -> List["QueryHit"]:
+        hits, _counts = self._refine_bulk(entry, pages, exact, lazy)
+        return hits
+
+    def _refine_bulk(
+        self,
+        entry: PlanEntry,
+        pages: Dict[PageKey, CachedPage],
+        exact: bool,
+        lazy: bool,
+    ) -> Tuple[List["QueryHit"], Tuple[int, int, int, int, int]]:
+        """The vectorized refine loop shared by the traced and untraced
+        paths; returns the sorted hits plus ``(slots_scanned, batches,
+        replicas_skipped, tombstone_drops, rect_shortcuts)``."""
+        from .datastore import QueryHit
+
+        refine_geom: Optional[Geometry] = None
+        rect_window: Optional[Envelope] = None
+        if exact:
+            if entry.geom is None:
+                refine_geom, rect_window = Polygon.from_envelope(entry.env), entry.env
+            else:
+                refine_geom = entry.geom
+        use_rect = rect_window is not None and not rect_window.is_empty
+        if use_rect:
+            wx0, wy0, wx1, wy1 = rect_window.as_tuple()
+
+        hits: List[QueryHit] = []
+        hits_append = hits.append
+        seen: set = set()
+        part_of = self._partition_of_page
+        slots_scanned = batches = replicas = tombs = shortcuts = 0
+        for key in sorted(entry.by_page, key=_newest_first):
+            slots = entry.by_page[key]
+            nslots = len(slots)
+            slots_scanned += nslots
+            batches += 1
+            if not nslots:
+                continue
+            page = pages[key]
+            partition_id = part_of.get(key, -1)
+            generation, page_id = key
+            survivors, page_replicas, page_tombs = self._surviving_slots(
+                page, slots, generation, seen
+            )
+            replicas += page_replicas
+            tombs += page_tombs
+            if not survivors:
+                continue
+            page_record = page.record
+            if use_rect:
+                if page.minxs is None:
+                    # one-time v1 column upgrade: after this the page rides
+                    # the same bulk path as v2
+                    page.ensure_envelopes()
+                px0, py0, px1, py1, has_empty = page.env_summary()
+                if (
+                    not has_empty
+                    and px0 <= px1
+                    and py0 <= py1
+                    and px0 >= wx0
+                    and px1 <= wx1
+                    and py0 >= wy0
+                    and py1 <= wy1
+                ):
+                    # page-level containment: every survivor is provably a
+                    # hit — no per-slot envelope work at all
+                    shortcuts += len(survivors)
+                    if lazy:
+                        page_view = page.view
+                        for slot in survivors:
+                            view = page_view(slot)
+                            hits_append(
+                                QueryHit(
+                                    view.record_id, view, partition_id,
+                                    page_id, generation,
+                                )
+                            )
+                    else:
+                        for slot in survivors:
+                            rid, geom = page_record(slot)
+                            hits_append(
+                                QueryHit(rid, geom, partition_id, page_id, generation)
+                            )
+                    continue
+                mask = page.contained_mask(survivors, wx0, wy0, wx1, wy1)
+                if lazy:
+                    page_view = page.view
+                    for slot, contained in zip(survivors, mask):
+                        if contained:
+                            shortcuts += 1
+                            view = page_view(slot)
+                            hits_append(
+                                QueryHit(
+                                    view.record_id, view, partition_id,
+                                    page_id, generation,
+                                )
+                            )
+                        else:
+                            rid, geom = page_record(slot)
+                            if predicates.intersects(refine_geom, geom):
+                                hits_append(
+                                    QueryHit(
+                                        rid, geom, partition_id, page_id, generation
+                                    )
+                                )
+                else:
+                    for slot, contained in zip(survivors, mask):
+                        rid, geom = page_record(slot)
+                        if contained:
+                            shortcuts += 1
+                        elif not predicates.intersects(refine_geom, geom):
+                            continue
+                        hits_append(
+                            QueryHit(rid, geom, partition_id, page_id, generation)
+                        )
+            elif refine_geom is not None:
+                # non-rectangular window: decode + exact predicate
+                for slot in survivors:
+                    rid, geom = page_record(slot)
+                    if predicates.intersects(refine_geom, geom):
+                        hits_append(
+                            QueryHit(rid, geom, partition_id, page_id, generation)
+                        )
+            elif lazy:
+                # MBR-only query: every survivor is a hit, none needs decode
+                page_view = page.view
+                for slot in survivors:
+                    view = page_view(slot)
+                    hits_append(
+                        QueryHit(
+                            view.record_id, view, partition_id, page_id, generation
+                        )
+                    )
+            else:
+                for slot in survivors:
+                    rid, geom = page_record(slot)
+                    hits_append(
+                        QueryHit(rid, geom, partition_id, page_id, generation)
+                    )
+        hits.sort(key=_by_record_id)
+        stats = self._stats
+        if stats is not None:
+            stats.slots_scanned += slots_scanned
+            stats.bulk_filter_batches += batches
+        return hits, (slots_scanned, batches, replicas, tombs, shortcuts)
+
+    def refine_reference(
+        self,
+        entry: PlanEntry,
+        pages: Dict[PageKey, CachedPage],
+        exact: bool,
+    ) -> List["QueryHit"]:
+        """The pre-vectorization per-slot scalar loop, kept verbatim.
+
+        This is the correctness oracle: the randomized property battery
+        asserts :meth:`refine` == :meth:`refine_reference` over generated
+        stores, and the benchmarks measure the bulk path's speedup against
+        it.  Not used by any serving path.
+        """
         from .datastore import QueryHit
 
         refine_geom: Optional[Geometry] = None
@@ -248,60 +516,27 @@ class RefineExecutor:
         exact: bool,
         tracer,
         stats,
+        lazy: bool = False,
     ) -> List["QueryHit"]:
         """:meth:`refine` with a per-entry ``decode`` span accounting every
         skip/drop/shortcut decision.  ``records_decoded`` on the span is the
         :class:`~repro.store.datastore.StoreStats` movement of this entry
         (charged through the lazy-decode callback), so EXPLAIN's refine
-        section can never disagree with the stats delta.  Kept as a separate
-        method so the untraced :meth:`refine` hot loop carries zero
-        bookkeeping.
+        section can never disagree with the stats delta.  The span also
+        carries ``slots_scanned`` and ``bulk_filter_batches``, which is how
+        an EXPLAIN report shows the bulk filter's selectivity.
         """
-        from .datastore import QueryHit
-
-        refine_geom: Optional[Geometry] = None
-        rect_window: Optional[Envelope] = None
-        if exact:
-            if entry.geom is None:
-                refine_geom, rect_window = Polygon.from_envelope(entry.env), entry.env
-            else:
-                refine_geom = entry.geom
-
-        hits: List[QueryHit] = []
-        seen: set = set()
-        replicas_skipped = tombstone_drops = rect_shortcuts = 0
         decoded_before = stats.records_decoded
         with tracer.span("decode", query_id=entry.query_id) as span:
-            for key in sorted(entry.by_page, key=lambda k: (-k[0], k[1])):
-                page = pages[key]
-                partition_id = self._partition_of_page.get(key, -1)
-                generation, page_id = key
-                for slot in entry.by_page[key]:
-                    record_id = page.record_ids[slot]
-                    if record_id in seen:
-                        replicas_skipped += 1
-                        continue
-                    if self._tombstone_gen.get(record_id, -1) > generation:
-                        tombstone_drops += 1
-                        continue
-                    seen.add(record_id)
-                    _, geom = page.record(slot)
-                    if refine_geom is not None:
-                        slot_env = page.envelope(slot) if rect_window is not None else None
-                        contained = slot_env is not None and rect_window.contains(slot_env)
-                        if contained:
-                            rect_shortcuts += 1
-                        elif not predicates.intersects(refine_geom, geom):
-                            continue
-                    hits.append(
-                        QueryHit(record_id, geom, partition_id, page_id, generation)
-                    )
-            hits.sort(key=lambda h: h.record_id)
+            hits, counts = self._refine_bulk(entry, pages, exact, lazy)
+            slots_scanned, batches, replicas, tombs, shortcuts = counts
             span.set(
-                replicas_skipped=replicas_skipped,
-                tombstone_drops=tombstone_drops,
+                replicas_skipped=replicas,
+                tombstone_drops=tombs,
                 records_decoded=stats.records_decoded - decoded_before,
-                rect_shortcuts=rect_shortcuts,
+                rect_shortcuts=shortcuts,
+                slots_scanned=slots_scanned,
+                bulk_filter_batches=batches,
                 num_hits=len(hits),
             )
         return hits
@@ -323,7 +558,7 @@ class StoreEngine:
             store.manifest, store.index, store.generations[1:]
         )
         self.executor = RefineExecutor(
-            store._partition_of_page, store._tombstone_gen
+            store._partition_of_page, store._tombstone_gen, store.stats
         )
         #: partition id -> cached heat Counter handle (see :meth:`_record_heat`)
         self._heat: Dict[int, Any] = {}
@@ -358,6 +593,7 @@ class StoreEngine:
         self,
         queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
         exact: bool = True,
+        lazy: bool = False,
     ) -> List[List["QueryHit"]]:
         """Serve a batch of ``(query_id, window)`` queries through the staged
         pipeline; returns one hit list per query, in input order.
@@ -367,6 +603,11 @@ class StoreEngine:
         (still coalesced per query) so memory stays bounded by one query's
         working set.
 
+        With ``lazy``, hits whose MBR containment already proves the
+        predicate carry a zero-copy
+        :class:`~repro.store.page.RecordView` instead of a decoded
+        geometry (see :class:`RefineExecutor`).
+
         Dispatches to one of two bodies: :meth:`_execute_traced` when the
         store's tracer is recording, or :meth:`_execute_untraced` — the
         stage loop exactly as it stood before tracing existed — so the
@@ -374,8 +615,8 @@ class StoreEngine:
         nothing else (the ≤2 % no-op overhead budget the benchmark pins).
         """
         if self.store.tracer.enabled:
-            return self._execute_traced(queries, exact)
-        return self._execute_untraced(queries, exact)
+            return self._execute_traced(queries, exact, lazy)
+        return self._execute_untraced(queries, exact, lazy)
 
     def execute_outcome(
         self,
@@ -464,6 +705,7 @@ class StoreEngine:
         self,
         queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
         exact: bool = True,
+        lazy: bool = False,
     ) -> List[List["QueryHit"]]:
         queries = list(queries)
         results: List[List["QueryHit"]] = [[] for _ in queries]
@@ -480,13 +722,14 @@ class StoreEngine:
         for j in plan.visit_order:
             entry = plan.entries[j]
             pages = held if held else self.store._get_pages(entry.by_page)
-            results[entry.position] = self.executor.refine(entry, pages, exact)
+            results[entry.position] = self.executor.refine(entry, pages, exact, lazy)
         return results
 
     def _execute_traced(
         self,
         queries: Sequence[Tuple[Any, Union[Envelope, Geometry]]],
         exact: bool = True,
+        lazy: bool = False,
     ) -> List[List["QueryHit"]]:
         """The same stage loop wrapped in the span hierarchy
         ``query → plan → schedule → io → refine → decode`` (schedule/io
@@ -537,7 +780,7 @@ class StoreEngine:
                     entry = plan.entries[j]
                     pages = held if held else self.store._get_pages(entry.by_page)
                     results[entry.position] = self.executor.refine_traced(
-                        entry, pages, exact, tracer, self.store.stats
+                        entry, pages, exact, tracer, self.store.stats, lazy
                     )
                     num_hits += len(results[entry.position])
                 rspan.set(num_hits=num_hits)

@@ -29,10 +29,11 @@ per-shard store engines and the record-id de-dup.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from contextlib import ExitStack
-from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..geometry import Envelope
 from ..obs.metrics import Histogram
@@ -74,6 +75,10 @@ class FrontendResult:
     #: virtual makespan of the whole call (max rank end - min rank start)
     makespan: float
     max_in_flight: int
+    #: whether the window was chosen adaptively from observed phase overlap
+    adaptive: bool = False
+    #: the window in effect at each batch submission (adaptive runs only)
+    windows: List[int] = field(default_factory=list)
 
     @property
     def num_batches(self) -> int:
@@ -136,11 +141,35 @@ class AsyncStoreFrontend:
     ``server.phase_breakdown()`` covers async-served traffic too.
     """
 
-    def __init__(self, server: DistributedStoreServer, max_in_flight: int = 4) -> None:
-        if max_in_flight < 1:
-            raise ValueError("max_in_flight must be >= 1")
+    def __init__(
+        self,
+        server: DistributedStoreServer,
+        max_in_flight: Union[int, str] = 4,
+        adaptive_cap: int = 16,
+    ) -> None:
+        """``max_in_flight`` is either a fixed window (``>= 1``) or the
+        string ``"adaptive"``: rank 0 then picks the window per batch from
+        the observed phase overlap — the ratio of drain time (local query +
+        gather of the oldest batch) to submit time (route + scatter of the
+        next) — clamped to ``[1, adaptive_cap]``.  A window of
+        ``1 + drain/submit`` is the steady-state pipeline depth at which
+        rank 0 can keep routing while the serving ranks stay busy; a larger
+        window only grows queueing latency.  The per-phase observations ride
+        the registry histograms ``frontend.submit_seconds`` and
+        ``frontend.drain_seconds``.  Results are bit-identical either way —
+        the window changes only *when* rank 0 gathers, never what is
+        computed.
+        """
         self.server = server
-        self.max_in_flight = max_in_flight
+        self.adaptive = max_in_flight == "adaptive"
+        if self.adaptive:
+            if adaptive_cap < 1:
+                raise ValueError("adaptive_cap must be >= 1")
+            self.max_in_flight: int = adaptive_cap
+        else:
+            if not isinstance(max_in_flight, int) or max_in_flight < 1:
+                raise ValueError("max_in_flight must be >= 1 or 'adaptive'")
+            self.max_in_flight = max_in_flight
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -270,7 +299,20 @@ class AsyncStoreFrontend:
         #: (batch_id, rank-0 plan entries, submit time) routed but not gathered
         in_flight: Deque[Tuple[int, List[Tuple[int, Any, Envelope]], float]] = deque()
 
+        # adaptive pipelining: observe how long it takes to submit a batch
+        # (route + scatter) vs to drain the oldest one (local query + peer
+        # gather + de-dup) and keep 1 + drain/submit batches in flight —
+        # enough that rank 0 never starves the serving ranks, no more
+        adaptive = self.adaptive
+        window = min(2, self.max_in_flight) if adaptive else self.max_in_flight
+        submit_hist = server.metrics.histogram("frontend.submit_seconds")
+        drain_hist = server.metrics.histogram("frontend.drain_seconds")
+        submit_ema = drain_ema = 0.0
+        windows_used: List[int] = []
+
         def complete_oldest() -> None:
+            nonlocal drain_ema
+            drain_start = clock.now
             batch_id, own_entries, submitted = in_flight.popleft()
             local = self._serve_local(
                 own_entries, exact, batch_id=batch_id,
@@ -307,6 +349,9 @@ class AsyncStoreFrontend:
                 completed=clock.now,
             )
             latency_hist.record(metrics[batch_id].latency)
+            drained = clock.now - drain_start
+            drain_hist.record(drained)
+            drain_ema = drained if drain_ema == 0.0 else 0.5 * (drain_ema + drained)
 
         with ExitStack() as stack:
             if tracer.enabled:
@@ -319,7 +364,16 @@ class AsyncStoreFrontend:
                     )
                 )
             for b in range(num_batches):
-                while len(in_flight) >= self.max_in_flight:
+                if adaptive and submit_ema > 0.0:
+                    window = max(
+                        1,
+                        min(
+                            self.max_in_flight,
+                            1 + math.ceil(drain_ema / submit_ema),
+                        ),
+                    )
+                windows_used.append(window)
+                while len(in_flight) >= window:
                     complete_oldest()
                 submitted = clock.now
                 queries = list(batches[b])
@@ -342,6 +396,13 @@ class AsyncStoreFrontend:
                         sspan.set(batch=b)
                 server._charge_phase("scatter", t)
                 in_flight.append((b, plan[0], submitted))
+                submit_took = clock.now - submitted
+                submit_hist.record(submit_took)
+                submit_ema = (
+                    submit_took
+                    if submit_ema == 0.0
+                    else 0.5 * (submit_ema + submit_took)
+                )
             while in_flight:
                 complete_oldest()
 
@@ -349,7 +410,10 @@ class AsyncStoreFrontend:
             batches=results,
             metrics=[m for m in metrics if m is not None],
             makespan=clock.now - start,  # refined with the allgathered spans
-            max_in_flight=self.max_in_flight,
+            max_in_flight=max(windows_used, default=1) if adaptive
+            else self.max_in_flight,
+            adaptive=adaptive,
+            windows=windows_used,
         )
 
     # ------------------------------------------------------------------ #

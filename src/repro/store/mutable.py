@@ -514,8 +514,9 @@ def _derive_id_ceiling(fs: SimulatedFilesystem, name: str) -> int:
                     for pid in range(start, min(start + 16, len(gen.pages)))
                 ]
                 for page in store._get_pages(keys).values():
-                    for rid in page.record_ids:
-                        ceiling = max(ceiling, rid + 1)
+                    if len(page):
+                        # the id column is a flat array: one C-level max
+                        ceiling = max(ceiling, max(page.record_ids) + 1)
         for info in store.manifest.generations:
             ceiling = max(ceiling, max(info.tombstones, default=-1) + 1)
     return ceiling

@@ -1,22 +1,30 @@
 """Lazily-decoded page images held by the page cache.
 
 The paper's filter-and-refine discipline (§4.1, §5) applied to one page: the
-cache keeps the **raw payload** plus the cheap-to-parse metadata (record ids,
-body offsets and — for v2 containers — the packed envelope column), and a
-record body is WKB/pickle-decoded only when a query actually needs that
-slot.  Decoded geometries are memoised per slot, so a page that stays cached
-pays each decode at most once no matter how many queries touch it.
+cache keeps the **raw payload** plus the cheap-to-parse metadata — flat
+``array``-module columns of record ids, body offsets and (v2) the envelope
+column — and a record body is WKB/pickle-decoded only when a query actually
+needs that slot.  Decoded geometries are memoised per slot, so a page that
+stays cached pays each decode at most once no matter how many queries touch
+it.
+
+The columns are deliberately *flat arrays*, not per-slot tuples: the refine
+phase filters whole pages with bulk gathers (``map(column.__getitem__,
+slots)``) and fused comparisons over the four coordinate columns, so the
+surviving-slot loop never touches a per-slot dict or attribute.
 
 For v1 payloads the envelope column does not exist on disk; the slot table
-is still recovered with a pure ``struct`` walk over the record prefixes
-(lengths only, no WKB/pickle), so lazy decode works for both versions — v1
-merely cannot answer envelope filters without decoding.
+is recovered once with a pure ``struct`` walk over the record prefixes
+(lengths only, no WKB/pickle) and memoised, and :meth:`ensure_envelopes`
+can upgrade the page with a one-time envelope-only WKB coordinate scan so
+v1 pages ride the same bulk filter path as v2.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Callable, List, Optional, Tuple
+from array import array
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..geometry import Envelope, Geometry, wkb
 from .format import (
@@ -29,7 +37,52 @@ from .format import (
     page_crc32,
 )
 
-__all__ = ["CachedPage"]
+__all__ = ["CachedPage", "RecordView"]
+
+_INF = float("inf")
+
+
+class RecordView:
+    """Zero-copy lazy view of one record slot on a cached page.
+
+    Returned (instead of a decoded :class:`~repro.geometry.Geometry`) by the
+    ``lazy`` query path for slots whose MBR containment already proves the
+    predicate: the view holds only ``(page, slot)`` and exposes the record's
+    raw encoded body as a ``memoryview`` over the cached payload — no WKB or
+    pickle work happens until :attr:`geometry` is first read, at which point
+    the decode is memoised on the page and charged to ``records_decoded``
+    exactly like an eager hit.  Views are process-local: they pin their page
+    image and are not meant to be pickled or shipped across ranks.
+    """
+
+    __slots__ = ("_page", "slot", "record_id")
+
+    def __init__(self, page: "CachedPage", slot: int) -> None:
+        self._page = page
+        self.slot = slot
+        self.record_id = page.record_ids[slot]
+
+    @property
+    def geometry(self) -> Geometry:
+        """Materialise (and memoise) the geometry — the deferred decode."""
+        return self._page.record(self.slot)[1]
+
+    @property
+    def envelope(self) -> Optional[Envelope]:
+        return self._page.envelope(self.slot)
+
+    @property
+    def body(self) -> memoryview:
+        """The record's encoded body bytes, zero-copy from the page payload."""
+        return self._page.body_view(self.slot)
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._page._memo[self.slot] is not None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "decoded" if self.is_materialized else "lazy"
+        return f"RecordView(record_id={self.record_id}, slot={self.slot}, {state})"
 
 
 class CachedPage:
@@ -55,7 +108,13 @@ class CachedPage:
         "count",
         "record_ids",
         "body_offsets",
-        "bounds",
+        "minxs",
+        "minys",
+        "maxxs",
+        "maxys",
+        "_body_lens",
+        "_ud_lens",
+        "_env_summary",
         "_memo",
         "_on_decode",
     )
@@ -80,35 +139,63 @@ class CachedPage:
         self.version = version
         self.payload = payload
         self._on_decode = on_decode
-        self.record_ids: List[int] = []
-        self.body_offsets: List[int] = []
-        #: per-slot (minx, miny, maxx, maxy), or ``None`` for v1 payloads
-        self.bounds: Optional[List[Tuple[float, float, float, float]]] = None
+        #: the four envelope-column coordinate arrays; ``None`` on v1 pages
+        #: until :meth:`ensure_envelopes` upgrades them
+        self.minxs: Optional[array] = None
+        self.minys: Optional[array] = None
+        self.maxxs: Optional[array] = None
+        self.maxys: Optional[array] = None
+        #: v1 record body/userdata lengths memoised by the one-time prefix
+        #: walk (``None`` on v2 pages, whose bodies carry their own prefix)
+        self._body_lens: Optional[array] = None
+        self._ud_lens: Optional[array] = None
+        self._env_summary: Optional[Tuple[float, float, float, float, bool]] = None
         if version >= 2:
             entries = decode_envelope_column(payload)
             self.count = len(entries)
-            bounds: List[Tuple[float, float, float, float]] = []
-            for record_id, body_offset, minx, miny, maxx, maxy in entries:
-                self.record_ids.append(record_id)
-                self.body_offsets.append(body_offset)
-                bounds.append((minx, miny, maxx, maxy))
-            self.bounds = bounds
+            if entries:
+                ids, offsets, minxs, minys, maxxs, maxys = zip(*entries)
+                self.record_ids = array("I", ids)
+                self.body_offsets = array("I", offsets)
+                self.minxs = array("d", minxs)
+                self.minys = array("d", minys)
+                self.maxxs = array("d", maxxs)
+                self.maxys = array("d", maxys)
+            else:
+                self.record_ids = array("I")
+                self.body_offsets = array("I")
+                self.minxs = array("d")
+                self.minys = array("d")
+                self.maxxs = array("d")
+                self.maxys = array("d")
         else:
             self.count = self._walk_v1(payload)
         self._memo: List[Optional[Geometry]] = [None] * self.count
 
     def _walk_v1(self, payload: bytes) -> int:
-        """Recover the slot table of a v1 payload with struct-only parsing."""
+        """Recover the slot table of a v1 payload with struct-only parsing.
+
+        Runs exactly once per page image: record ids, prefix offsets and the
+        body/userdata lengths are all memoised, so neither repeated
+        ``envelope`` probes nor :meth:`record` decodes ever re-walk the
+        prefix chain.
+        """
         if len(payload) < _PAGE_COUNT.size:
             raise StoreFormatError("page payload shorter than its count prefix")
         (count,) = _PAGE_COUNT.unpack_from(payload, 0)
+        record_ids = array("I")
+        body_offsets = array("I")
+        body_lens = array("I")
+        ud_lens = array("I")
         pos = _PAGE_COUNT.size
         for _ in range(count):
             if pos + _RECORD_PREFIX.size > len(payload):
                 raise StoreFormatError("truncated record prefix in page payload")
             record_id, body_len, ud_len = _RECORD_PREFIX.unpack_from(payload, pos)
-            self.record_ids.append(record_id)
-            self.body_offsets.append(pos)
+            record_ids.append(record_id)
+            body_offsets.append(pos)
+            body_lens.append(body_len)
+            ud_lens.append(ud_len)
             pos += _RECORD_PREFIX.size + body_len + ud_len
             if pos > len(payload):
                 raise StoreFormatError("truncated record body in page payload")
@@ -116,6 +203,10 @@ class CachedPage:
             raise StoreFormatError(
                 f"{len(payload) - pos} trailing bytes after the last record"
             )
+        self.record_ids = record_ids
+        self.body_offsets = body_offsets
+        self._body_lens = body_lens
+        self._ud_lens = ud_lens
         return count
 
     # ------------------------------------------------------------------ #
@@ -127,11 +218,105 @@ class CachedPage:
         """How many of this page's slots have been decoded so far."""
         return sum(1 for g in self._memo if g is not None)
 
+    @property
+    def has_envelopes(self) -> bool:
+        """Whether the coordinate columns exist (always on v2; on v1 only
+        after :meth:`ensure_envelopes`)."""
+        return self.minxs is not None
+
+    def ensure_envelopes(self) -> None:
+        """One-time parsed-column upgrade for v1 pages.
+
+        Builds the four coordinate columns from an envelope-only WKB
+        coordinate scan (:func:`repro.geometry.wkb.envelope_bounds`) — no
+        geometry objects are constructed and nothing is charged to
+        ``records_decoded``, because this is filter-phase work, not refine.
+        A no-op on pages that already have the columns.
+        """
+        if self.minxs is not None:
+            return
+        payload = self.payload
+        prefix_size = _RECORD_PREFIX.size
+        minxs = array("d")
+        minys = array("d")
+        maxxs = array("d")
+        maxys = array("d")
+        view = memoryview(payload)
+        for offset, body_len in zip(self.body_offsets, self._body_lens):
+            pos = offset + prefix_size
+            x0, y0, x1, y1 = wkb.envelope_bounds(view[pos : pos + body_len])
+            minxs.append(x0)
+            minys.append(y0)
+            maxxs.append(x1)
+            maxys.append(y1)
+        self.minxs = minxs
+        self.minys = minys
+        self.maxxs = maxxs
+        self.maxys = maxys
+
+    def env_summary(self) -> Tuple[float, float, float, float, bool]:
+        """``(minx, miny, maxx, maxy, has_empty)`` over the whole column.
+
+        The page-level containment fast path: when a rectangular window
+        contains these bounds and no slot envelope is empty, **every** slot
+        on the page is contained and the per-slot mask is skipped entirely.
+        Computed once per page image (C-speed ``min``/``max`` folds).
+        """
+        summary = self._env_summary
+        if summary is None:
+            minxs, maxxs = self.minxs, self.maxxs
+            minys, maxys = self.minys, self.maxys
+            if not self.count:
+                summary = (_INF, _INF, -_INF, -_INF, False)
+            else:
+                has_empty = any(
+                    a > b for a, b in zip(minxs, maxxs)
+                ) or any(a > b for a, b in zip(minys, maxys))
+                summary = (
+                    min(minxs), min(minys), max(maxxs), max(maxys), has_empty
+                )
+            self._env_summary = summary
+        return summary
+
+    def slot_ids(self, slots: Sequence[int]) -> List[int]:
+        """Bulk gather of ``record_ids`` over *slots* (one C-level ``map``)."""
+        return list(map(self.record_ids.__getitem__, slots))
+
+    def contained_mask(
+        self,
+        slots: Sequence[int],
+        wx0: float,
+        wy0: float,
+        wx1: float,
+        wy1: float,
+    ) -> List[bool]:
+        """Per-slot window-containment mask as one fused bulk pass.
+
+        Matches :meth:`Envelope.contains` exactly: an **empty** slot MBR
+        (minx > maxx or miny > maxy) is never contained — without the guard
+        the ``±inf`` sentinels of an empty envelope would satisfy the four
+        boundary comparisons vacuously.
+        """
+        g = map  # bulk gathers: one C-level map per coordinate column
+        return [
+            x0 >= wx0 and x1 <= wx1 and y0 >= wy0 and y1 <= wy1
+            and x0 <= x1 and y0 <= y1
+            for x0, y0, x1, y1 in zip(
+                g(self.minxs.__getitem__, slots),
+                g(self.minys.__getitem__, slots),
+                g(self.maxxs.__getitem__, slots),
+                g(self.maxys.__getitem__, slots),
+            )
+        ]
+
     def envelope(self, slot: int) -> Optional[Envelope]:
-        """The slot's MBR from the envelope column (``None`` on v1 pages)."""
-        if self.bounds is None:
+        """The slot's MBR from the envelope column (``None`` on v1 pages
+        that have not been upgraded with :meth:`ensure_envelopes`)."""
+        if self.minxs is None:
             return None
-        return Envelope(*self.bounds[slot])
+        return Envelope(
+            self.minxs[slot], self.minys[slot], self.maxxs[slot], self.maxys[slot]
+        )
 
     def record(self, slot: int) -> Tuple[int, Geometry]:
         """Decode (and memoise) one slot — the refine phase for that record."""
@@ -140,15 +325,40 @@ class CachedPage:
             if self.version >= 2:
                 geom = decode_record_body(self.payload, self.body_offsets[slot])
             else:
-                geom = self._decode_v1_body(self.body_offsets[slot])
+                geom = self._decode_v1_body(slot)
             self._memo[slot] = geom
             if self._on_decode is not None:
                 self._on_decode(1)
         return self.record_ids[slot], geom
 
-    def _decode_v1_body(self, offset: int) -> Geometry:
-        _, body_len, ud_len = _RECORD_PREFIX.unpack_from(self.payload, offset)
-        pos = offset + _RECORD_PREFIX.size
+    def view(self, slot: int) -> RecordView:
+        """A zero-copy :class:`RecordView` of one slot (the lazy hit path)."""
+        return RecordView(self, slot)
+
+    def body_view(self, slot: int) -> memoryview:
+        """Zero-copy ``memoryview`` of one record's encoded body bytes."""
+        start = self.body_offsets[slot]
+        if self.version >= 2:
+            end = (
+                self.body_offsets[slot + 1]
+                if slot + 1 < self.count
+                else len(self.payload)
+            )
+        else:
+            end = (
+                start
+                + _RECORD_PREFIX.size
+                + self._body_lens[slot]
+                + self._ud_lens[slot]
+            )
+        return memoryview(self.payload)[start:end]
+
+    def _decode_v1_body(self, slot: int) -> Geometry:
+        # lengths come from the memoised slot table — the prefix is never
+        # re-unpacked after the one-time _walk_v1
+        body_len = self._body_lens[slot]
+        ud_len = self._ud_lens[slot]
+        pos = self.body_offsets[slot] + _RECORD_PREFIX.size
         geom = wkb.loads(self.payload[pos : pos + body_len])
         if ud_len:
             geom.userdata = pickle.loads(

@@ -745,6 +745,8 @@ class DistributedStoreServer:
                 ),
                 "records_decoded": delta.get("records_decoded", 0),
                 "read_requests": delta.get("read_requests", 0),
+                "slots_scanned": delta.get("slots_scanned", 0),
+                "bulk_filter_batches": delta.get("bulk_filter_batches", 0),
             }
         payload = {
             "rank": self.comm.rank,

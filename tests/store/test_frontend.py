@@ -182,3 +182,62 @@ class TestFrontendMetrics:
         asy = self._serve(fs, sharded_name, window=4)
         assert asy.total_queries == seq.total_queries
         assert asy.queries_per_second >= seq.queries_per_second
+
+
+class TestAdaptiveWindow:
+    """``max_in_flight="adaptive"`` sizes the in-flight window from the
+    observed submit/drain phase overlap; serving-rank behaviour (and hence
+    every result) is identical to any fixed window."""
+
+    def _serve(self, fs, sharded_name, mode, nprocs=4, cap=16):
+        def prog(comm):
+            with DistributedStoreServer.open(comm, fs, sharded_name) as server:
+                batches = make_batches(server.manifest.extent, num_batches=10)
+                frontend = AsyncStoreFrontend(
+                    server, max_in_flight=mode, adaptive_cap=cap
+                )
+                result = frontend.serve(batches if comm.rank == 0 else None)
+                hist = server.metrics.histogram("frontend.submit_seconds")
+                return result, hist.count
+
+        return mpisim.run_spmd(prog, nprocs).values[0]
+
+    @pytest.mark.parametrize("nprocs", [1, 4])
+    def test_adaptive_results_equal_fixed(self, fs, sharded_name, nprocs):
+        fixed, _ = self._serve(fs, sharded_name, 4, nprocs=nprocs)
+        adaptive, _ = self._serve(fs, sharded_name, "adaptive", nprocs=nprocs)
+        assert [keys(b) for b in adaptive.batches] == [
+            keys(b) for b in fixed.batches
+        ]
+
+    def test_adaptive_reports_window_trajectory(self, fs, sharded_name):
+        result, submit_count = self._serve(fs, sharded_name, "adaptive")
+        assert result.adaptive
+        assert len(result.windows) == result.num_batches
+        assert all(1 <= w <= 16 for w in result.windows)
+        assert result.max_in_flight == max(result.windows)
+        # both phase histograms feed the policy: one submit sample per batch
+        assert submit_count == result.num_batches
+
+    def test_fixed_window_reports_flat_trajectory(self, fs, sharded_name):
+        result, _ = self._serve(fs, sharded_name, 4)
+        assert not result.adaptive
+        assert result.windows == [4] * result.num_batches
+        assert result.max_in_flight == 4
+
+    def test_adaptive_cap_clamps_window(self, fs, sharded_name):
+        result, _ = self._serve(fs, sharded_name, "adaptive", cap=1)
+        assert result.windows and all(w == 1 for w in result.windows)
+        assert result.max_in_flight == 1
+
+    def test_invalid_modes_rejected(self, fs, sharded_name):
+        def prog(comm):
+            with DistributedStoreServer.open(comm, fs, sharded_name) as server:
+                with pytest.raises(ValueError):
+                    AsyncStoreFrontend(server, max_in_flight="turbo")
+                with pytest.raises(ValueError):
+                    AsyncStoreFrontend(server, max_in_flight="adaptive",
+                                       adaptive_cap=0)
+                return True
+
+        assert mpisim.run_spmd(prog, 1).values[0]

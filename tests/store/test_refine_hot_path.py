@@ -1,0 +1,564 @@
+"""Property battery for the vectorized refine/scan hot path (PR 9).
+
+The bulk filter (flat envelope-column arrays, set-operation replica de-dup
+and tombstone shadowing, page-level containment fast path, zero-copy lazy
+rect hits) must be **observably identical** to the per-slot scalar loop it
+replaced.  `RefineExecutor.refine_reference` keeps that scalar loop verbatim
+as the oracle; this battery drives both over randomized stores — v1 and v2
+payloads, multiple generations with tombstoned and updated ids, cross-shard
+replicas, degenerate and empty MBRs, empty pages — and asserts equal hits,
+equal decode counts and equal scan output, at 1/2/4 ranks.
+
+Also covers the PR 9 accounting guarantees: `slots_scanned` /
+`bulk_filter_batches` counters, EXPLAIN selectivity, and the degraded-path
+rule that a quarantined page is reported as *failed*, never silently counted
+as a zero-survivor bulk scan.
+"""
+
+import random
+
+import pytest
+
+from repro import mpisim
+from repro.datasets import random_envelopes
+from repro.geometry import Envelope, LineString, Point, Polygon, wkb
+from repro.pfs import LustreFilesystem
+from repro.store import (
+    DistributedStoreServer,
+    PageChecksumError,
+    PageKey,
+    RecordView,
+    SpatialDataStore,
+    StoreAppender,
+    bulk_load,
+    sharded_bulk_load,
+)
+from repro.store.engine import PlanEntry, RefineExecutor
+from repro.store.format import encode_page_v2, encode_record_body
+from repro.store.page import CachedPage
+
+EXTENT = Envelope(0.0, 0.0, 100.0, 100.0)
+
+
+def mixed_geometries(count, seed):
+    """Polygons, axis-aligned linestrings (degenerate MBRs: zero height or
+    width) and points (fully degenerate MBRs), with integer userdata."""
+    rng = random.Random(seed)
+    out = []
+    for i, env in enumerate(
+        random_envelopes(count, extent=EXTENT, max_size_fraction=0.08, seed=seed)
+    ):
+        kind = rng.random()
+        if kind < 0.55:
+            out.append(Polygon.from_envelope(env, userdata=i))
+        elif kind < 0.7:
+            # horizontal line: degenerate (zero-height) MBR
+            out.append(
+                LineString([(env.minx, env.miny), (env.maxx, env.miny)], userdata=i)
+            )
+        elif kind < 0.85:
+            out.append(
+                LineString([(env.minx, env.miny), (env.maxx, env.maxy)], userdata=i)
+            )
+        else:
+            out.append(Point(env.minx, env.miny, userdata=i))
+    return out
+
+
+def probe_windows(n, seed, frac=0.2):
+    wins = list(
+        random_envelopes(n, extent=EXTENT, max_size_fraction=frac, seed=seed)
+    )
+    wins.append(EXTENT)  # whole-extent: exercises the page-contained fast path
+    wins.append(Envelope(40.0, 40.0, 41.0, 41.0))
+    return wins
+
+
+def hit_key(h):
+    geom = h.geometry
+    if isinstance(geom, RecordView):
+        geom = geom.geometry
+    return (
+        h.record_id,
+        h.partition_id,
+        h.page_id,
+        h.generation,
+        wkb.dumps(geom),
+        geom.userdata,
+    )
+
+
+def refine_both_ways(store, window, exact):
+    """Run one window through the bulk refine and the scalar reference over
+    the same fetched pages; returns (bulk_hits, reference_hits)."""
+    plan = store.engine.planner.plan([(0, window)])
+    executor = store.engine.executor
+    bulk, ref = [], []
+    for entry in plan.entries:
+        pages = store._get_pages(entry.by_page)
+        bulk.extend(executor.refine(entry, pages, exact))
+        ref.extend(executor.refine_reference(entry, pages, exact))
+    return bulk, ref
+
+
+@pytest.fixture(scope="module")
+def fs(tmp_path_factory):
+    return LustreFilesystem(tmp_path_factory.mktemp("hotfs"), ost_count=8)
+
+
+@pytest.fixture(scope="module")
+def geoms():
+    return mixed_geometries(400, seed=901)
+
+
+@pytest.fixture(scope="module")
+def v2_name(fs, geoms):
+    bulk_load(fs, "hot_v2", geoms, num_partitions=16, page_size=1024)
+    return "hot_v2"
+
+
+@pytest.fixture(scope="module")
+def v1_name(fs, geoms):
+    bulk_load(fs, "hot_v1", geoms, num_partitions=16, page_size=1024,
+              format_version=1)
+    return "hot_v1"
+
+
+@pytest.fixture(scope="module")
+def gen_store(fs, geoms):
+    """A three-generation store with updates (shadowing) and tombstones,
+    plus the expected visible ``{record_id: geometry}`` map."""
+    bulk_load(fs, "hot_gen", geoms, num_partitions=16, page_size=1024)
+    visible = {i: g for i, g in enumerate(geoms)}
+
+    moved = mixed_geometries(30, seed=902)
+    appender = StoreAppender(fs, "hot_gen")
+    update_ids = list(range(10, 40))
+    appender.append(moved, record_ids=update_ids, deletes=list(range(200, 230)))
+    for rid, g in zip(update_ids, moved):
+        visible[rid] = g
+    for rid in range(200, 230):
+        visible.pop(rid)
+
+    fresh = mixed_geometries(40, seed=903)
+    fresh_ids = list(range(1000, 1040))
+    appender.append(fresh, record_ids=fresh_ids, deletes=list(range(25, 35)))
+    for rid, g in zip(fresh_ids, fresh):
+        visible[rid] = g
+    for rid in range(25, 35):
+        visible.pop(rid)
+    return "hot_gen", visible
+
+
+@pytest.fixture(scope="module")
+def sharded_name(fs, geoms):
+    sharded_bulk_load(fs, "hot_sharded", geoms, num_shards=4, num_partitions=16)
+    return "hot_sharded"
+
+
+def brute_force(visible, window):
+    if isinstance(window, Envelope):
+        if window.is_empty:
+            return []
+        poly = Polygon.from_envelope(window)
+    else:
+        poly = window
+    from repro.geometry import predicates
+
+    return sorted(
+        rid
+        for rid, g in visible.items()
+        if g.envelope.intersects(poly.envelope) and predicates.intersects(poly, g)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# vectorized == scalar reference
+# --------------------------------------------------------------------------- #
+class TestBulkEqualsReference:
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_v2_windows(self, fs, v2_name, exact):
+        store = SpatialDataStore.open(fs, v2_name, cache_pages=1024)
+        for window in probe_windows(20, seed=11):
+            bulk, ref = refine_both_ways(store, window, exact)
+            assert [hit_key(h) for h in bulk] == [hit_key(h) for h in ref]
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_v1_windows(self, fs, v1_name, exact):
+        store = SpatialDataStore.open(fs, v1_name, cache_pages=1024)
+        for window in probe_windows(20, seed=12):
+            bulk, ref = refine_both_ways(store, window, exact)
+            assert [hit_key(h) for h in bulk] == [hit_key(h) for h in ref]
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_generations_tombstones_updates(self, fs, gen_store, exact):
+        name, visible = gen_store
+        store = SpatialDataStore.open(fs, name, cache_pages=1024)
+        for window in probe_windows(20, seed=13):
+            bulk, ref = refine_both_ways(store, window, exact)
+            assert [hit_key(h) for h in bulk] == [hit_key(h) for h in ref]
+            if exact:
+                assert [h.record_id for h in bulk] == brute_force(visible, window)
+
+    def test_geometry_windows(self, fs, geoms, v2_name):
+        # non-rectangular windows: the predicate path, no rect shortcut
+        store = SpatialDataStore.open(fs, v2_name, cache_pages=1024)
+        for probe in geoms[:25]:
+            bulk, ref = refine_both_ways(store, probe, exact=True)
+            assert [hit_key(h) for h in bulk] == [hit_key(h) for h in ref]
+
+    def test_v1_equals_v2(self, fs, v1_name, v2_name):
+        v1 = SpatialDataStore.open(fs, v1_name, cache_pages=1024)
+        v2 = SpatialDataStore.open(fs, v2_name, cache_pages=1024)
+        for window in probe_windows(15, seed=14):
+            ids1 = [h.record_id for h in v1.range_query(window)]
+            ids2 = [h.record_id for h in v2.range_query(window)]
+            assert ids1 == ids2
+
+    def test_records_decoded_parity_with_reference(self, fs, gen_store):
+        # the bulk path must decode exactly the slots the scalar loop did
+        name, _ = gen_store
+        windows = probe_windows(15, seed=15)
+
+        bulk_store = SpatialDataStore.open(fs, name, cache_pages=1024)
+        for window in windows:
+            bulk_store.range_query(window)
+        bulk_decoded = bulk_store.stats.records_decoded
+
+        ref_store = SpatialDataStore.open(fs, name, cache_pages=1024)
+        executor = ref_store.engine.executor
+        for window in windows:
+            plan = ref_store.engine.planner.plan([(0, window)])
+            for entry in plan.entries:
+                pages = ref_store._get_pages(entry.by_page)
+                executor.refine_reference(entry, pages, exact=True)
+        assert bulk_decoded == ref_store.stats.records_decoded
+
+    def test_v1_pages_upgrade_once_and_stay_correct(self, fs, v1_name):
+        store = SpatialDataStore.open(fs, v1_name, cache_pages=1024)
+        window = Envelope(10.0, 10.0, 70.0, 70.0)
+        first = [hit_key(h) for h in store.range_query(window)]
+        # the touched v1 pages now carry parsed envelope columns
+        upgraded = [
+            page
+            for page in store._cache._entries.values()
+            if page.has_envelopes and page.version == 1
+        ]
+        assert upgraded
+        for page in upgraded:
+            for slot in range(len(page)):
+                env = page.envelope(slot)
+                assert env is not None
+                assert env.as_tuple() == page.record(slot)[1].envelope.as_tuple()
+        assert [hit_key(h) for h in store.range_query(window)] == first
+
+
+# --------------------------------------------------------------------------- #
+# hand-built pages: empty MBRs, empty pages, intra-page duplicates
+# --------------------------------------------------------------------------- #
+def build_page(entries, page_id=0):
+    payload = encode_page_v2(
+        [(rid, env, encode_record_body(g)) for rid, env, g in entries]
+    )
+    return CachedPage(page_id, payload, version=2)
+
+
+class TestHandBuiltPages:
+    def test_empty_envelope_slot_never_takes_the_shortcut(self):
+        # an empty MBR's ±inf sentinels satisfy naive boundary comparisons
+        # vacuously; the mask must still say "not contained"
+        g = Point(5.0, 5.0, userdata="x")
+        page = build_page(
+            [(0, g.envelope, g), (1, Envelope.empty(), g), (2, g.envelope, g)]
+        )
+        mask = page.contained_mask([0, 1, 2], 0.0, 0.0, 100.0, 100.0)
+        assert mask == [True, False, True]
+        # and the page-level summary refuses the all-contained fast path
+        assert page.env_summary()[4] is True
+
+    def test_refine_matches_reference_on_empty_mbr_slots(self):
+        g = Point(5.0, 5.0, userdata="x")
+        h = Point(50.0, 50.0, userdata="y")
+        page = build_page(
+            [(0, g.envelope, g), (1, Envelope.empty(), h), (2, h.envelope, h)]
+        )
+        key = PageKey(0, 0)
+        entry = PlanEntry(0, None, EXTENT, None, {key: [0, 1, 2]})
+        executor = RefineExecutor({key: 7})
+        bulk = executor.refine(entry, {key: page}, exact=True)
+        ref = executor.refine_reference(entry, {key: page}, exact=True)
+        assert [hit_key(x) for x in bulk] == [hit_key(x) for x in ref]
+
+    def test_empty_page_and_empty_slot_list(self):
+        page = build_page([])
+        assert len(page) == 0
+        assert page.env_summary()[4] is False
+        key = PageKey(0, 0)
+        entry = PlanEntry(0, None, EXTENT, None, {key: []})
+        executor = RefineExecutor({})
+        assert executor.refine(entry, {key: page}, exact=True) == []
+        assert executor.refine_reference(entry, {key: page}, exact=True) == []
+
+    def test_duplicate_id_within_page_keeps_first_wins_order(self):
+        # cannot come from the writers (pages never span partitions), but a
+        # hand-built plan must still match the scalar first-encounter rule
+        a = Point(10.0, 10.0, userdata="first")
+        b = Point(20.0, 20.0, userdata="second")
+        page = build_page([(5, a.envelope, a), (5, b.envelope, b)])
+        key = PageKey(0, 0)
+        entry = PlanEntry(0, None, EXTENT, None, {key: [0, 1]})
+        executor = RefineExecutor({})
+        bulk = executor.refine(entry, {key: page}, exact=True)
+        ref = executor.refine_reference(entry, {key: page}, exact=True)
+        assert [hit_key(x) for x in bulk] == [hit_key(x) for x in ref]
+        assert len(bulk) == 1 and bulk[0].geometry.userdata == "first"
+
+    def test_cross_page_replica_dedup_newest_generation_wins(self):
+        old = Point(30.0, 30.0, userdata="old")
+        new = Point(31.0, 31.0, userdata="new")
+        base = build_page([(9, old.envelope, old)], page_id=0)
+        delta = build_page([(9, new.envelope, new)], page_id=0)
+        k0, k1 = PageKey(0, 0), PageKey(1, 0)
+        entry = PlanEntry(0, None, EXTENT, None, {k0: [0], k1: [0]})
+        executor = RefineExecutor({})
+        pages = {k0: base, k1: delta}
+        bulk = executor.refine(entry, pages, exact=True)
+        ref = executor.refine_reference(entry, pages, exact=True)
+        assert [hit_key(x) for x in bulk] == [hit_key(x) for x in ref]
+        assert len(bulk) == 1 and bulk[0].geometry.userdata == "new"
+
+    def test_tombstone_shadow_matches_reference(self):
+        g = Point(40.0, 40.0, userdata="dead")
+        live = Point(41.0, 41.0, userdata="live")
+        page = build_page([(3, g.envelope, g), (4, live.envelope, live)])
+        key = PageKey(0, 0)
+        entry = PlanEntry(0, None, EXTENT, None, {key: [0, 1]})
+        executor = RefineExecutor({}, tombstone_gen={3: 2})
+        bulk = executor.refine(entry, {key: page}, exact=True)
+        ref = executor.refine_reference(entry, {key: page}, exact=True)
+        assert [hit_key(x) for x in bulk] == [hit_key(x) for x in ref]
+        assert [x.record_id for x in bulk] == [4]
+
+
+# --------------------------------------------------------------------------- #
+# cross-shard replicas at 1/2/4 ranks
+# --------------------------------------------------------------------------- #
+class TestShardedEquality:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_engine_equals_sharded_equals_brute_force(
+        self, fs, geoms, v2_name, sharded_name, nprocs
+    ):
+        envs = probe_windows(8, seed=21)
+        queries = [(i, env) for i, env in enumerate(envs)]
+        visible = {i: g for i, g in enumerate(geoms)}
+
+        single = SpatialDataStore.open(fs, v2_name, cache_pages=1024)
+        single_ids = [
+            sorted(h.record_id for h in hits)
+            for hits in single.range_query_batch(queries)
+        ]
+
+        def prog(comm):
+            with DistributedStoreServer.open(comm, fs, sharded_name) as server:
+                return server.range_query_batch(
+                    queries if comm.rank == 0 else None, exact=True
+                )
+
+        hits = mpisim.run_spmd(prog, nprocs).values[0]
+        sharded_ids = [[] for _ in queries]
+        for h in hits:
+            sharded_ids[h.query_id].append(h.record_id)
+        sharded_ids = [sorted(ids) for ids in sharded_ids]
+
+        brute = [brute_force(visible, env) for env in envs]
+        assert single_ids == brute
+        assert sharded_ids == brute
+
+
+# --------------------------------------------------------------------------- #
+# zero-copy lazy rect hits
+# --------------------------------------------------------------------------- #
+class TestLazyZeroCopy:
+    def test_lazy_hits_materialize_to_eager_results(self, fs, v2_name):
+        store = SpatialDataStore.open(fs, v2_name, cache_pages=1024)
+        for window in probe_windows(10, seed=31):
+            eager = store.range_query(window)
+            lazy = store.range_query(window, lazy=True)
+            assert [hit_key(h) for h in lazy] == [hit_key(h) for h in eager]
+
+    def test_fully_contained_window_decodes_nothing_until_read(self, fs, v2_name):
+        store = SpatialDataStore.open(fs, v2_name, cache_pages=1024)
+        hits = store.range_query(EXTENT, lazy=True)
+        assert hits and all(isinstance(h.geometry, RecordView) for h in hits)
+        assert store.stats.records_decoded == 0
+        view = hits[0].geometry
+        assert not view.is_materialized
+        assert isinstance(view.body, memoryview) and len(view.body) > 0
+        geom = view.geometry  # first read pays (and memoises) the decode
+        assert geom.envelope.intersects(EXTENT)
+        assert view.is_materialized
+        assert store.stats.records_decoded == 1
+        _ = view.geometry
+        assert store.stats.records_decoded == 1  # memoised
+
+    def test_lazy_inexact_query_is_all_views(self, fs, v2_name):
+        store = SpatialDataStore.open(fs, v2_name, cache_pages=1024)
+        window = Envelope(20.0, 20.0, 60.0, 60.0)
+        hits = store.range_query(window, exact=False, lazy=True)
+        assert hits and all(isinstance(h.geometry, RecordView) for h in hits)
+        assert store.stats.records_decoded == 0
+        eager = store.range_query(window, exact=False)
+        assert [hit_key(h) for h in hits] == [hit_key(h) for h in eager]
+
+    def test_lazy_partial_containment_mixes_views_and_geometries(self, fs, v2_name):
+        store = SpatialDataStore.open(fs, v2_name, cache_pages=1024)
+        window = Envelope(13.0, 17.0, 61.0, 58.0)
+        hits = store.range_query(window, lazy=True)
+        kinds = {isinstance(h.geometry, RecordView) for h in hits}
+        # a window cutting through page extents produces both kinds
+        assert kinds == {True, False}
+
+    def test_v1_lazy_rides_the_upgraded_column(self, fs, v1_name):
+        store = SpatialDataStore.open(fs, v1_name, cache_pages=1024)
+        eager = store.range_query(EXTENT)
+        lazy = SpatialDataStore.open(fs, v1_name, cache_pages=1024).range_query(
+            EXTENT, lazy=True
+        )
+        assert any(isinstance(h.geometry, RecordView) for h in lazy)
+        assert [hit_key(h) for h in lazy] == [hit_key(h) for h in eager]
+
+
+# --------------------------------------------------------------------------- #
+# counters and EXPLAIN selectivity
+# --------------------------------------------------------------------------- #
+class TestCountersAndExplain:
+    def test_slots_scanned_and_batches_move(self, fs, v2_name):
+        store = SpatialDataStore.open(fs, v2_name, cache_pages=1024)
+        assert store.stats.slots_scanned == 0
+        assert store.stats.bulk_filter_batches == 0
+        store.range_query(Envelope(10.0, 10.0, 50.0, 50.0))
+        assert store.stats.slots_scanned > 0
+        assert store.stats.bulk_filter_batches > 0
+        assert store.stats.slots_scanned >= store.stats.bulk_filter_batches
+
+    def test_explain_surfaces_selectivity(self, fs, gen_store):
+        name, _ = gen_store
+        store = SpatialDataStore.open(fs, name, cache_pages=1024)
+        report = store.explain(Envelope(5.0, 5.0, 80.0, 80.0))
+        refine = report.refine
+        assert refine["slots_scanned"] > 0
+        assert refine["bulk_filter_batches"] > 0
+        # EXPLAIN's refine numbers are stats deltas by construction
+        assert refine["slots_scanned"] == report.stats_delta["slots_scanned"]
+        assert (
+            refine["bulk_filter_batches"]
+            == report.stats_delta["bulk_filter_batches"]
+        )
+        # selectivity = survivors / slots_scanned, and survivors are exactly
+        # the decoded records on the eager path: zero per-slot work hides
+        survivors = (
+            refine["slots_scanned"]
+            - refine["replicas_skipped"]
+            - refine["tombstone_drops"]
+        )
+        assert 0.0 < refine["filter_selectivity"] <= 1.0
+        assert refine["filter_selectivity"] == survivors / refine["slots_scanned"]
+        assert survivors == refine["records_decoded"]
+        assert "selectivity" in report.render()
+
+    @pytest.mark.parametrize("nprocs", [2])
+    def test_distributed_explain_carries_selectivity(self, fs, sharded_name, nprocs):
+        queries = [(i, w) for i, w in enumerate(probe_windows(4, seed=41))]
+
+        def prog(comm):
+            with DistributedStoreServer.open(comm, fs, sharded_name) as server:
+                report = server.explain_batch(
+                    queries if comm.rank == 0 else None
+                )
+                return report.as_dict() if report is not None else None
+
+        report = mpisim.run_spmd(prog, nprocs).values[0]
+        assert report["stats_delta"]["slots_scanned"] > 0
+        assert report["stats_delta"]["bulk_filter_batches"] > 0
+        shard_scanned = sum(
+            info.get("slots_scanned", 0) for info in report["shards"].values()
+        )
+        assert shard_scanned == report["stats_delta"]["slots_scanned"]
+
+
+# --------------------------------------------------------------------------- #
+# scan() and degraded accounting (bulk filter must not hide failed pages)
+# --------------------------------------------------------------------------- #
+class TestScanAndDegradedAccounting:
+    def test_scan_equals_visible_records(self, fs, gen_store):
+        name, visible = gen_store
+        store = SpatialDataStore.open(fs, name, cache_pages=1024)
+        scanned = dict(store.scan())
+        assert set(scanned) == set(visible)
+        for rid, geom in scanned.items():
+            assert wkb.dumps(geom) == wkb.dumps(visible[rid])
+            assert geom.userdata == visible[rid].userdata
+
+    def test_scan_bounded_runs_with_tiny_cache(self, fs, gen_store):
+        name, visible = gen_store
+        store = SpatialDataStore.open(fs, name, cache_pages=4,
+                                      admission="no_scan")
+        scanned = dict(store.scan())
+        assert set(scanned) == set(visible)
+
+    def test_scan_raises_on_quarantined_page(self, fs, geoms):
+        # a checksum-failed page must abort the scan, not read as an empty
+        # (zero-survivor) bulk batch
+        bulk_load(fs, "hot_scan_bad", geoms[:120], num_partitions=4,
+                  page_size=1024)
+        with SpatialDataStore.open(fs, "hot_scan_bad", cache_pages=64) as store:
+            from tests.store.test_faults import flip_page_byte
+
+            flip_page_byte(fs, store)
+        with SpatialDataStore.open(fs, "hot_scan_bad", cache_pages=64) as store:
+            with pytest.raises(PageChecksumError):
+                dict(store.scan())
+            # and again once quarantined: still an error, never silence
+            with pytest.raises(PageChecksumError, match="quarantined"):
+                dict(store.scan())
+
+    def test_degraded_outcome_excludes_failed_pages_from_slots_scanned(
+        self, fs, geoms
+    ):
+        bulk_load(fs, "hot_degraded", geoms[:150], num_partitions=4,
+                  page_size=1024)
+        window = EXTENT
+        with SpatialDataStore.open(fs, "hot_degraded", cache_pages=256) as store:
+            plan = store.engine.planner.plan([(0, window)])
+            clean_slots = sum(
+                len(slots)
+                for entry in plan.entries
+                for slots in entry.by_page.values()
+            )
+            from tests.store.test_faults import flip_page_byte
+
+            bad_key = flip_page_byte(fs, store)
+            bad_slots = sum(
+                len(entry.by_page.get(bad_key, ())) for entry in plan.entries
+            )
+            assert bad_slots > 0
+
+        with SpatialDataStore.open(fs, "hot_degraded", cache_pages=256) as store:
+            before = store.stats.slots_scanned
+            outcome = store.query_outcome([(0, window)], partial_ok=True)
+            assert not outcome.complete
+            assert [key for key, _ in outcome.failed_pages] == [bad_key]
+            assert outcome.incomplete_queries == [0]
+            # the bulk filter scanned exactly the available pages' slots —
+            # the failed page is accounted as failed, not as zero survivors
+            assert store.stats.slots_scanned - before == clean_slots - bad_slots
+
+    def test_budget_zero_charges_no_bulk_batches(self, fs, geoms):
+        bulk_load(fs, "hot_budget", geoms[:80], num_partitions=4, page_size=1024)
+        with SpatialDataStore.open(fs, "hot_budget", cache_pages=64) as store:
+            outcome = store.query_outcome(
+                [(0, EXTENT)], partial_ok=True, budget=0.0
+            )
+            assert not outcome.complete
+            assert store.stats.slots_scanned == 0
+            assert store.stats.bulk_filter_batches == 0
