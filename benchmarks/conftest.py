@@ -18,8 +18,8 @@ from repro.pfs import ClusterConfig, GPFSFilesystem, LustreFilesystem
 
 #: snapshot file recording this PR's benchmark results (the perf trajectory
 #: of the repo: bump the name each PR so history accumulates in git)
-BENCH_SNAPSHOT = pathlib.Path(__file__).parent / "BENCH_PR9.json"
-SNAPSHOT_TAG = "PR9"
+BENCH_SNAPSHOT = pathlib.Path(__file__).parent / "BENCH_PR10.json"
+SNAPSHOT_TAG = "PR10"
 
 
 def pytest_sessionfinish(session, exitstatus):

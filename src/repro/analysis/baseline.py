@@ -1,0 +1,90 @@
+"""Checked-in finding baseline for the SPMD linter.
+
+The gate fails only on *new* findings: every known finding is recorded by a
+stable fingerprint (rule + file + enclosing scope + a hash of the flagged
+line, disambiguated by occurrence index) so unrelated line drift neither
+breaks the build nor silently retires entries.  Stale entries — fingerprints
+in the baseline that no current finding matches — are reported as cleanup
+candidates but do not fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .spmd import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline", "fingerprints"]
+
+_FORMAT_VERSION = 1
+
+
+def fingerprints(findings: Sequence[Finding]) -> List[str]:
+    """Fingerprints for *findings*, numbering repeats of the same
+    (rule, path, context, snippet) tuple by occurrence so two identical
+    violations on different lines stay distinct."""
+    seen: Counter = Counter()
+    out: List[str] = []
+    for finding in findings:
+        base = finding.fingerprint(0).rsplit(":", 1)[0]
+        out.append(f"{base}:{seen[base]}")
+        seen[base] += 1
+    return out
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings set plus bookkeeping for diffs against it."""
+
+    entries: Dict[str, str] = field(default_factory=dict)  # fingerprint -> note
+
+    def diff(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Tuple[Finding, str]], List[str]]:
+        """Split *findings* into (new_findings_with_fingerprint, stale
+        baseline fingerprints no current finding matches)."""
+        prints = fingerprints(findings)
+        new = [
+            (finding, fp)
+            for finding, fp in zip(findings, prints)
+            if fp not in self.entries
+        ]
+        current = set(prints)
+        stale = sorted(fp for fp in self.entries if fp not in current)
+        return new, stale
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        entries = {
+            fp: f"{finding.path}:{finding.line} {finding.message}"
+            for finding, fp in zip(findings, fingerprints(findings))
+        }
+        return cls(entries=entries)
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline, so the
+    first run of the gate reports everything as new."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    return Baseline(entries=dict(payload.get("findings", {})))
+
+
+def write_baseline(baseline: Baseline, path: Union[str, Path]) -> None:
+    path = Path(path)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "tool": "repro.analysis.spmd",
+        "findings": dict(sorted(baseline.entries.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

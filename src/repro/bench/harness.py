@@ -19,7 +19,6 @@ tests, so the benchmarks measure the system, not a separate re-implementation.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,10 +31,8 @@ from ..core import (
     SpatialJoin,
     VectorIO,
     build_record_index,
-    read_fixed_records_roundrobin,
     read_variable_records_roundrobin,
 )
-from ..core.spatial_types import MPI_RECT
 from ..datasets import (
     DATASETS,
     SyntheticConfig,
@@ -45,7 +42,7 @@ from ..datasets import (
 )
 from ..io import Info
 from ..io.twophase import collective_read_time
-from ..mpisim import CommCostModel, Op, ops
+from ..mpisim import CommCostModel, Op
 from ..pfs import (
     ClusterConfig,
     GPFSFilesystem,
@@ -54,7 +51,7 @@ from ..pfs import (
     ReadRequest,
     StripeLayout,
 )
-from .reporting import FigureReport, Series, bandwidth_gbps
+from .reporting import FigureReport, bandwidth_gbps
 
 __all__ = [
     "algorithm1_read_time",

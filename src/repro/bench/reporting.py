@@ -8,7 +8,7 @@ plots without any plotting dependencies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Sequence
 
 __all__ = ["Series", "FigureReport", "format_table", "bandwidth_gbps"]
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pickle
 import struct
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..geometry import Geometry, wkb
 from ..mpisim import Communicator

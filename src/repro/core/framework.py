@@ -12,11 +12,11 @@ it by overriding :meth:`SpatialComputation.refine`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from ..geometry import Geometry
-from ..index import GridCell, UniformGrid
+from ..index import GridCell
 from ..mpisim import Communicator
 from ..pfs import SimulatedFilesystem
 from .exchange import exchange_cells

@@ -15,8 +15,8 @@ To restore spatial locality the system (Figure 1 / Figure 2 of the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..geometry import Envelope, Geometry
 from ..index import RTree, UniformGrid, round_robin_mapping

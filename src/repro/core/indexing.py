@@ -10,13 +10,13 @@ STR-packed R-tree per owned cell.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..geometry import Envelope, Geometry
 from ..index import GridCell, STRtree
 from ..mpisim import Communicator, ops
 from ..pfs import SimulatedFilesystem
-from .framework import ComputationResult, PhaseBreakdown, SpatialComputation
+from .framework import PhaseBreakdown, SpatialComputation
 from .grid_partition import GridPartitionConfig
 from .partition import PartitionConfig
 

@@ -23,7 +23,7 @@ from ..geometry import Envelope, Geometry, predicates
 from ..index import GridCell, STRtree
 from ..mpisim import Communicator
 from ..pfs import SimulatedFilesystem
-from .framework import ComputationResult, SpatialComputation
+from .framework import SpatialComputation
 from .grid_partition import GridPartitionConfig
 from .partition import PartitionConfig
 

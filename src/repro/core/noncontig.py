@@ -15,12 +15,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..io import File, Info
 from ..mpisim import Communicator, Datatype, MPI_BYTE, create_indexed, create_vector
 from ..pfs import SimulatedFilesystem
-from .parsers import split_records
 
 __all__ = [
     "RecordIndex",

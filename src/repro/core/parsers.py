@@ -11,7 +11,7 @@ New York taxi records the introduction mentions.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ..geometry import Geometry, Point, WKTParseError, wkt
 

@@ -22,8 +22,8 @@ file").
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..io import File, Info
 from ..mpisim import Communicator

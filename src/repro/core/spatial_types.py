@@ -11,7 +11,7 @@ MPI-IO file views and the reduction/communication calls.
 from __future__ import annotations
 
 import struct
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List
 
 from ..geometry import Envelope, LineString, Point
 from ..mpisim.datatypes import (

@@ -10,10 +10,8 @@ scale of roughly ``1e4``–``1e5``, far beyond this environment.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, Optional, Union
+from typing import Dict, Iterator, Optional
 
 from ..pfs import SimulatedFilesystem, StripeLayout
 from .synthetic import (

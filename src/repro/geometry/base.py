@@ -10,7 +10,7 @@ from the source record.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional, Tuple
+from typing import Any, Tuple
 
 from .envelope import Envelope
 

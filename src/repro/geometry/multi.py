@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Tuple
 
 from .base import Geometry
 from .envelope import Envelope

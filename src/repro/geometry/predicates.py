@@ -9,7 +9,6 @@ kernel.
 
 from __future__ import annotations
 
-import math
 from itertools import product
 from typing import Tuple
 

@@ -16,7 +16,7 @@ that raw dataset lines can be fed in directly — that mirrors the paper's
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .base import Geometry
 from .linestring import LineString

@@ -13,8 +13,8 @@ Two variants are provided, mirroring how GEOS is used in the paper:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Any, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..geometry import Envelope
 

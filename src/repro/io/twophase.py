@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..pfs import ReadRequest, SimulatedFilesystem, romio_lustre_readers
 from ..pfs.lustre import LustreFilesystem

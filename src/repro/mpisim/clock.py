@@ -15,8 +15,8 @@ from __future__ import annotations
 import math
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator
 
 __all__ = ["VirtualClock", "CommCostModel"]
 

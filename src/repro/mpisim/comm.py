@@ -15,17 +15,64 @@ this runtime behave like the per-process maxima reported in the paper.
 from __future__ import annotations
 
 import itertools
+import os
+import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .clock import VirtualClock
-from .errors import MPIError
+from .errors import CollectiveMismatchError, MPIError
 from .ops import Op
 from .status import ANY_SOURCE, ANY_TAG, Request, Status
 from .world import World, _Message, payload_nbytes
 
-__all__ = ["Communicator"]
+__all__ = [
+    "Communicator",
+    "collective_check_default",
+    "set_collective_check_default",
+]
 
 _comm_id_counter = itertools.count(1)
+
+# ---------------------------------------------------------------------- #
+# lockstep collective verification (the dynamic half of repro.analysis)
+# ---------------------------------------------------------------------- #
+# Default armed state for newly constructed communicators.  Opt in per
+# process via SPMD_CHECK=1, per suite via set_collective_check_default()
+# (tests/store/conftest.py arms the equality batteries this way), or per
+# communicator via enable_collective_check().
+_check_default: bool = os.environ.get("SPMD_CHECK", "") not in ("", "0")
+
+_THIS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def collective_check_default() -> bool:
+    """Whether new communicators arm the lockstep collective check."""
+    return _check_default
+
+
+def set_collective_check_default(enabled: bool) -> bool:
+    """Set the process-wide default armed state; returns the previous value.
+
+    Only communicators constructed afterwards (e.g. by the next
+    ``run_spmd``) observe the change.
+    """
+    global _check_default
+    previous = _check_default
+    _check_default = bool(enabled)
+    return previous
+
+
+def _callsite() -> str:
+    """The nearest stack frame outside the mpisim package — the user-code
+    line that issued the collective (``sharded.py:1013 in _collective_serve``)."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if os.path.dirname(os.path.abspath(filename)) != _THIS_DIR:
+            short = "/".join(filename.replace(os.sep, "/").split("/")[-2:])
+            return f"{short}:{frame.f_lineno} in {frame.f_code.co_name}"
+        frame = frame.f_back
+    return "<unknown>"
 
 
 class Communicator:
@@ -48,7 +95,7 @@ class Communicator:
             raise ValueError(f"rank {rank} outside communicator of size {len(self._members)}")
         self.rank = rank
         self.comm_id = comm_id
-        self._engine = world.engine(comm_id, len(self._members))
+        self._engine = world.engine(comm_id, len(self._members), list(self._members))
         # Number of split/dup calls issued through this communicator; SPMD
         # guarantees it stays identical across members, which makes derived
         # communicator ids deterministic without extra communication.
@@ -59,6 +106,13 @@ class Communicator:
         # optional fault-injection hook (attach_fault_hook); same
         # None-checked-per-operation contract as the metrics sink
         self._fault_hook = None
+        # lockstep collective verification: armed state is sampled from the
+        # process default at construction (and inherited by split/dup), the
+        # sequence number counts this communicator's collectives so armed
+        # ranks can detect a peer that skipped or repeated one
+        self._check_enabled = _check_default
+        self._check_strict = False
+        self._check_seq = 0
 
     # ------------------------------------------------------------------ #
     # observability
@@ -95,6 +149,73 @@ class Communicator:
 
     def detach_fault_hook(self) -> None:
         self._fault_hook = None
+
+    # ------------------------------------------------------------------ #
+    # lockstep collective verification
+    # ------------------------------------------------------------------ #
+    def enable_collective_check(self, strict: bool = False) -> None:
+        """Arm the lockstep verifier on this communicator.
+
+        Every subsequent collective piggybacks an ``(op, callsite, seq,
+        root)`` record on its rendezvous; if the participating ranks
+        disagree on ``(op, seq, root)`` — or, with ``strict=True``, on the
+        callsite as well — every rank raises
+        :class:`~repro.mpisim.errors.CollectiveMismatchError` naming the
+        divergent ranks and both callsites.  Non-strict is the default
+        because matched collectives issued from different lines of a
+        rank-conditional (root branch vs worker branch) are a legitimate
+        SPMD pattern; the callsites are still *named* in the error.
+
+        All members must arm together (SPMD): an armed rank meeting an
+        unarmed peer in a collective reports that as a mismatch too.
+        """
+        self._check_enabled = True
+        self._check_strict = strict
+
+    def disable_collective_check(self) -> None:
+        self._check_enabled = False
+
+    @property
+    def collective_check_enabled(self) -> bool:
+        return self._check_enabled
+
+    def _verify_lockstep(self, gathered: List[Tuple[Any, ...]]) -> None:
+        records = [entry[3] if len(entry) > 3 else None for entry in gathered]
+        mine = records[self.rank]
+        by_key: Dict[Tuple[Any, ...], List[int]] = {}
+        for rank, record in enumerate(records):
+            if record is None:
+                key: Tuple[Any, ...] = ("<collective check not armed>",)
+            elif self._check_strict:
+                key = record
+            else:
+                key = (record[0], record[2], record[3])  # op, seq, root
+            by_key.setdefault(key, []).append(rank)
+        if len(by_key) <= 1:
+            return
+        lines = []
+        for key, ranks in sorted(by_key.items(), key=lambda item: item[1][0]):
+            rendered = []
+            for rank in ranks:
+                record = records[rank]
+                if record is None:
+                    rendered.append(f"rank {rank}: collective check not armed")
+                    continue
+                op, callsite, seq, root = record
+                root_part = f", root={root}" if root is not None else ""
+                rendered.append(
+                    f"rank {rank}: {op}() #{seq}{root_part} at {callsite}"
+                )
+            lines.extend(rendered)
+        mine_desc = (
+            f"{mine[0]}() #{mine[2]} at {mine[1]}" if mine is not None
+            else "unarmed"
+        )
+        raise CollectiveMismatchError(
+            f"collective lockstep mismatch on communicator {self.comm_id}: "
+            f"rank {self.rank} is in {mine_desc} but the participants "
+            f"disagree:\n  " + "\n  ".join(lines)
+        )
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -199,34 +320,56 @@ class Communicator:
     # ------------------------------------------------------------------ #
     # collective plumbing
     # ------------------------------------------------------------------ #
-    def _exchange(self, value: Any, nbytes: int, cost_fn: Callable[[int, int], float]) -> List[Any]:
+    def _exchange(
+        self,
+        value: Any,
+        nbytes: int,
+        cost_fn: Callable[[int, int], float],
+        op: str = "collective",
+        root: Optional[int] = None,
+    ) -> List[Any]:
         """Gather ``(entry_time, value)`` from every rank, synchronise clocks
-        and charge ``cost_fn(max_bytes, size)`` to everyone."""
+        and charge ``cost_fn(max_bytes, size)`` to everyone.
+
+        With the lockstep check armed the entry grows a fourth element —
+        the ``(op, callsite, seq, root)`` verification record — which is
+        compared across ranks before any payload is used."""
         if self._fault_hook is not None:
             self._fault_hook("collective", self.rank)
         if self._metrics is not None:
             self._metrics.counter("comm.collectives").inc()
             self._metrics.counter("comm.bytes_collective").inc(nbytes)
-        entry = (self.clock.now, nbytes, value)
-        gathered = self._engine.exchange(self.rank, entry)
-        max_entry = max(t for t, _, _ in gathered)
-        max_bytes = max(b for _, b, _ in gathered)
+        if self._check_enabled:
+            record = (op, _callsite(), self._check_seq, root)
+            self._check_seq += 1
+            entry: Tuple[Any, ...] = (self.clock.now, nbytes, value, record)
+        else:
+            entry = (self.clock.now, nbytes, value)
+        gathered = self._engine.exchange(
+            self.rank, entry, watch_exits=self._check_enabled
+        )
+        if self._check_enabled:
+            self._verify_lockstep(gathered)
+        max_entry = max(e[0] for e in gathered)
+        max_bytes = max(e[1] for e in gathered)
         cost = cost_fn(max_bytes, self.size)
         self.clock.advance_to(max_entry, category="wait")
         self.clock.advance(cost, category="comm")
-        return [v for _, _, v in gathered]
+        return [e[2] for e in gathered]
 
     # ------------------------------------------------------------------ #
     # collectives
     # ------------------------------------------------------------------ #
     def barrier(self) -> None:
-        self._exchange(None, 0, lambda b, n: self.cost_model.collective_time(8, n))
+        self._exchange(None, 0, lambda b, n: self.cost_model.collective_time(8, n), op="barrier")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         values = self._exchange(
             obj if self.rank == root else None,
             payload_nbytes(obj) if self.rank == root else 0,
             lambda b, n: self.cost_model.collective_time(b, n),
+            op="bcast",
+            root=root,
         )
         return values[root]
 
@@ -238,6 +381,8 @@ class Communicator:
             list(sendobj) if self.rank == root else None,
             payload_nbytes(sendobj) if self.rank == root else 0,
             lambda b, n: self.cost_model.collective_time(b // max(1, n), n),
+            op="scatter",
+            root=root,
         )
         return values[root][self.rank]
 
@@ -246,6 +391,8 @@ class Communicator:
             sendobj,
             payload_nbytes(sendobj),
             lambda b, n: self.cost_model.collective_time(b, n),
+            op="gather",
+            root=root,
         )
         return values if self.rank == root else None
 
@@ -254,6 +401,7 @@ class Communicator:
             sendobj,
             payload_nbytes(sendobj),
             lambda b, n: self.cost_model.collective_time(b, n),
+            op="allgather",
         )
 
     def alltoall(self, sendobjs: Sequence[Any]) -> List[Any]:
@@ -266,6 +414,7 @@ class Communicator:
             list(sendobjs),
             total,
             lambda b, n: self.cost_model.alltoall_time(b, n),
+            op="alltoall",
         )
         return [matrix[src][self.rank] for src in range(self.size)]
 
@@ -285,6 +434,8 @@ class Communicator:
             sendobj,
             payload_nbytes(sendobj),
             lambda b, n: self.cost_model.collective_time(b, n),
+            op="reduce",
+            root=root,
         )
         if self.rank != root:
             return None
@@ -296,6 +447,7 @@ class Communicator:
             sendobj,
             payload_nbytes(sendobj),
             lambda b, n: self.cost_model.collective_time(b, n),
+            op="allreduce",
         )
         with self.clock.compute(category="reduce_op"):
             return op.reduce_sequence(values)
@@ -306,6 +458,7 @@ class Communicator:
             sendobj,
             payload_nbytes(sendobj),
             lambda b, n: self.cost_model.collective_time(b, n),
+            op="scan",
         )
         with self.clock.compute(category="reduce_op"):
             return op.reduce_sequence(values[: self.rank + 1])
@@ -316,6 +469,7 @@ class Communicator:
             sendobj,
             payload_nbytes(sendobj),
             lambda b, n: self.cost_model.collective_time(b, n),
+            op="exscan",
         )
         if self.rank == 0:
             return None
@@ -330,7 +484,7 @@ class Communicator:
         communicator follows *key* (defaults to the current rank).  A negative
         color returns ``None`` (``MPI_UNDEFINED``)."""
         key = self.rank if key is None else key
-        entries = self._exchange((color, key, self.rank), 24, lambda b, n: self.cost_model.collective_time(32, n))
+        entries = self._exchange((color, key, self.rank), 24, lambda b, n: self.cost_model.collective_time(32, n), op="split")
         # Allocate a deterministic id for every color of this split so all
         # members of one color agree without extra communication.
         self._derived_count += 1
@@ -345,14 +499,20 @@ class Communicator:
         new_rank = [r for _, r in group].index(self.rank)
         colors = sorted({c for c, _, _ in entries if c >= 0})
         new_comm_id = base_id + colors.index(color)
-        return Communicator(self.world, new_rank, member_world_ranks, new_comm_id)
+        derived = Communicator(self.world, new_rank, member_world_ranks, new_comm_id)
+        derived._check_enabled = self._check_enabled
+        derived._check_strict = self._check_strict
+        return derived
 
     def dup(self) -> "Communicator":
         """Duplicate the communicator (fresh collective context)."""
         self.barrier()
         self._derived_count += 1
         new_id = (self.comm_id * 7919 + self._derived_count) * 1013 + 1
-        return Communicator(self.world, self.rank, self._members, new_id)
+        derived = Communicator(self.world, self.rank, self._members, new_id)
+        derived._check_enabled = self._check_enabled
+        derived._check_strict = self._check_strict
+        return derived
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Communicator id={self.comm_id} rank={self.rank}/{self.size}>"

@@ -21,8 +21,7 @@ simulated MPI-IO layer consumes.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = [
     "Datatype",

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["MPIError", "MPIAbortError", "CountLimitError", "RankFaultError"]
+__all__ = [
+    "MPIError",
+    "MPIAbortError",
+    "CollectiveMismatchError",
+    "CountLimitError",
+    "RankFaultError",
+]
 
 
 class MPIError(RuntimeError):
@@ -27,6 +33,20 @@ class RankFaultError(MPIError):
     raises this error from inside a communication call on the targeted rank,
     which then propagates through the normal abort machinery exactly like a
     genuine rank failure would.
+    """
+
+
+class CollectiveMismatchError(MPIError):
+    """Raised by the lockstep verifier when ranks disagree on a collective.
+
+    With :meth:`~repro.mpisim.comm.Communicator.enable_collective_check`
+    armed, every collective piggybacks an ``(op, callsite, seq, root)``
+    record on its rendezvous.  If the gathered records disagree — one rank
+    in ``barrier()`` while another is in ``bcast()``, or two ranks passing
+    different ``root`` values — every participating rank raises this error
+    naming the divergent ranks and both callsites, instead of the program
+    dying much later in the virtual-clock deadlock timeout the same bug
+    produces unarmed.
     """
 
 

@@ -14,8 +14,8 @@ problem.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from .clock import CommCostModel, VirtualClock
 from .comm import Communicator
@@ -85,6 +85,9 @@ def run_spmd(
         comm = Communicator(world, rank)
         try:
             results[rank] = target(comm, *args, **kwargs)
+            # armed collective waiters fail fast on peers that can never
+            # rejoin them (collective-arity mismatch between ranks)
+            world.note_finished(rank)
         except MPIAbortError as exc:  # peer failed; not this rank's fault
             errors[rank] = exc
         except BaseException as exc:  # noqa: BLE001 - must propagate everything

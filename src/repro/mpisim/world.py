@@ -9,10 +9,10 @@ from __future__ import annotations
 
 import pickle
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from .clock import CommCostModel, VirtualClock
-from .errors import MPIAbortError
+from .errors import CollectiveMismatchError, MPIAbortError
 
 __all__ = ["World", "payload_nbytes"]
 
@@ -124,12 +124,20 @@ class _CollectiveEngine:
     returns the full list to all of them.
     """
 
-    def __init__(self, world: "World", nranks: int) -> None:
+    def __init__(
+        self,
+        world: "World",
+        nranks: int,
+        members: Optional[List[int]] = None,
+    ) -> None:
         self._world = world
         self._nranks = nranks
+        #: world ranks backing each slot (for exit-imbalance diagnosis)
+        self._members = list(members) if members is not None else list(range(nranks))
         self._cond = threading.Condition()
         self._generation = 0
         self._arrived = 0
+        self._arrived_ranks: set = set()
         self._slots: List[Any] = [None] * nranks
         self._results: Dict[int, List[Any]] = {}
         self._readers_left: Dict[int, int] = {}
@@ -138,16 +146,47 @@ class _CollectiveEngine:
         with self._cond:
             self._cond.notify_all()
 
-    def exchange(self, index: int, value: Any) -> List[Any]:
+    def _check_exited_peers(self, index: int, value: Any, gen: int) -> None:
+        """With the lockstep check armed, a peer that already returned from
+        its SPMD function can never join this rendezvous: fail now instead
+        of sitting in the deadlock timeout (an arity mismatch — one rank
+        issued more collectives than its peers — looks exactly like this)."""
+        if gen != self._generation:
+            return
+        exited = [
+            self._members[i]
+            for i in range(self._nranks)
+            if i not in self._arrived_ranks
+            and self._world.has_finished(self._members[i])
+        ]
+        if not exited:
+            return
+        record = value[3] if isinstance(value, tuple) and len(value) > 3 else None
+        where = (
+            f"{record[0]}() #{record[2]} at {record[1]}"
+            if record is not None
+            else f"collective #{gen}"
+        )
+        ranks = ", ".join(str(r) for r in exited)
+        raise CollectiveMismatchError(
+            f"collective lockstep mismatch: rank {self._members[index]} is "
+            f"waiting in {where} but rank(s) {ranks} already returned from "
+            f"the SPMD function — one side issued more collectives than the "
+            f"other"
+        )
+
+    def exchange(self, index: int, value: Any, watch_exits: bool = False) -> List[Any]:
         with self._cond:
             gen = self._generation
             self._slots[index] = value
             self._arrived += 1
+            self._arrived_ranks.add(index)
             if self._arrived == self._nranks:
                 self._results[gen] = list(self._slots)
                 self._readers_left[gen] = self._nranks
                 self._slots = [None] * self._nranks
                 self._arrived = 0
+                self._arrived_ranks = set()
                 self._generation += 1
                 self._cond.notify_all()
             else:
@@ -155,6 +194,8 @@ class _CollectiveEngine:
                 try:
                     while gen not in self._results:
                         self._world.check_abort()
+                        if watch_exits:
+                            self._check_exited_peers(index, value, gen)
                         self._cond.wait(timeout=0.2)
                 finally:
                     self._world.note_running()
@@ -190,18 +231,48 @@ class World:
         #: deadlock from a long-running computation
         self._waiting: Dict[int, str] = {}
         self._waiting_lock = threading.Lock()
+        #: world ranks whose SPMD function has returned (the launcher marks
+        #: them); armed collective waiters use this to detect peers that can
+        #: never join their rendezvous
+        self._finished: set = set()
+        self._finished_lock = threading.Lock()
         #: arbitrary per-run shared objects (e.g. the simulated filesystem)
         self.shared: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------ #
-    def engine(self, comm_id: int, nranks: int) -> _CollectiveEngine:
-        """Collective engine for the communicator *comm_id* (created lazily)."""
+    def engine(
+        self,
+        comm_id: int,
+        nranks: int,
+        members: Optional[List[int]] = None,
+    ) -> _CollectiveEngine:
+        """Collective engine for the communicator *comm_id* (created lazily).
+
+        *members* maps the engine's slots to world ranks; it only matters
+        for the armed lockstep check's exit-imbalance diagnosis."""
         with self._engines_lock:
             eng = self._engines.get(comm_id)
             if eng is None:
-                eng = _CollectiveEngine(self, nranks)
+                eng = _CollectiveEngine(self, nranks, members)
                 self._engines[comm_id] = eng
             return eng
+
+    # ------------------------------------------------------------------ #
+    # finished-rank tracking (armed lockstep check)
+    # ------------------------------------------------------------------ #
+    def note_finished(self, rank: int) -> None:
+        """Mark *rank*'s SPMD function as returned and wake collective
+        waiters so an armed rank blocked on it fails fast."""
+        with self._finished_lock:
+            self._finished.add(rank)
+        with self._engines_lock:
+            engines = list(self._engines.values())
+        for eng in engines:
+            eng.wake()
+
+    def has_finished(self, rank: int) -> bool:
+        with self._finished_lock:
+            return rank in self._finished
 
     # ------------------------------------------------------------------ #
     # blocked-rank tracking (deadlock diagnosis)

@@ -18,7 +18,7 @@ schema checks) and :meth:`render` / ``str()`` for humans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 from .trace import as_span_dicts
 

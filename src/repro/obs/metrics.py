@@ -28,7 +28,7 @@ input) are ordinary labelled counters in these registries; see
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional
 
 __all__ = [
     "Counter",

@@ -11,9 +11,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
-from .costmodel import ClusterConfig, IOCostModel, ReadRequest
+from .costmodel import IOCostModel, ReadRequest
 from .striping import StripeLayout
 
 __all__ = ["FileHandle", "SimulatedFilesystem"]

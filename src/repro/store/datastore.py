@@ -40,7 +40,6 @@ from .format import (
     PageChecksumError,
     PageKey,
     PageMeta,
-    RecordRef,
     StoreError,
     StoreFormatError,
     unpack_header,

@@ -244,12 +244,18 @@ class AsyncStoreFrontend:
         """
         comm = self.server.comm
         clock = comm.clock
-        if comm.rank == 0 and batches is None:
-            raise ValueError("rank 0 must supply the batch sequence")
-        num_batches, partial_ok, deadline = comm.bcast(
-            (len(batches), partial_ok, deadline) if comm.rank == 0 else None,
+        # Validation is collective: the header broadcast carries None when
+        # rank 0 got no batches, so every rank raises together instead of
+        # rank 0 bailing out while its peers block in the bcast (SPMD005).
+        header = comm.bcast(
+            (len(batches), partial_ok, deadline)
+            if comm.rank == 0 and batches is not None
+            else None,
             root=0,
         )
+        if header is None:
+            raise ValueError("rank 0 must supply the batch sequence")
+        num_batches, partial_ok, deadline = header
         outcome = partial_ok or deadline is not None
         start = clock.now
 
@@ -431,12 +437,17 @@ class AsyncStoreFrontend:
         """
         comm = self.server.comm
         clock = comm.clock
-        if comm.rank == 0 and batches is None:
-            raise ValueError("rank 0 must supply the batch sequence")
-        num_batches, partial_ok, deadline = comm.bcast(
-            (len(batches), partial_ok, deadline) if comm.rank == 0 else None,
+        # Same collective validation as :meth:`serve` (SPMD005): all ranks
+        # learn about missing batches from the header and raise in lockstep.
+        header = comm.bcast(
+            (len(batches), partial_ok, deadline)
+            if comm.rank == 0 and batches is not None
+            else None,
             root=0,
         )
+        if header is None:
+            raise ValueError("rank 0 must supply the batch sequence")
+        num_batches, partial_ok, deadline = header
         start = clock.now
 
         results: List[Any] = []

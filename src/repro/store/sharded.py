@@ -456,22 +456,31 @@ class DistributedStoreServer:
         ``Tracer(clock=comm.clock, rank=comm.rank)``); the default null
         tracer keeps serving allocation-free.  *metrics* supplies a
         server-level registry (per-shard query heat lands there)."""
+        # A missing shards.json rides the manifest broadcast instead of
+        # raising on rank 0 alone (SPMD005): every rank learns the path is
+        # absent from the same bcast and raises in lockstep, rather than
+        # workers blocking in a collective their root already abandoned.
         manifest: Optional[ShardsManifest] = None
+        missing: Optional[str] = None
         if comm.rank == 0:
             path = shards_path(name)
             if not fs.exists(path):
-                raise FileNotFoundError(
-                    f"sharded store {name!r} is missing {path!r}; "
-                    f"run ShardedStoreWriter.load first"
+                missing = path
+            else:
+                with fs.open(path) as fh:
+                    raw = fh.pread(0, fh.size)
+                comm.clock.advance(fs.open_time(), category="io")
+                comm.clock.advance(
+                    fs.read_time(path, [ReadRequest(0, ((0, len(raw)),))]),
+                    category="io",
                 )
-            with fs.open(path) as fh:
-                raw = fh.pread(0, fh.size)
-            comm.clock.advance(fs.open_time(), category="io")
-            comm.clock.advance(
-                fs.read_time(path, [ReadRequest(0, ((0, len(raw)),))]), category="io"
+                manifest = ShardsManifest.from_json(raw.decode("utf-8"))
+        manifest, missing = comm.bcast((manifest, missing), root=0)
+        if missing is not None:
+            raise FileNotFoundError(
+                f"sharded store {name!r} is missing {missing!r}; "
+                f"run ShardedStoreWriter.load first"
             )
-            manifest = ShardsManifest.from_json(raw.decode("utf-8"))
-        manifest = comm.bcast(manifest, root=0)
         return cls(
             comm,
             fs,

@@ -1,0 +1,166 @@
+"""Baseline fingerprinting, diffing, and the ``spmd_lint`` CLI gate."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import Baseline, lint_source, load_baseline, write_baseline
+from repro.analysis.baseline import fingerprints
+from repro.analysis.cli import main
+from repro.analysis.suppress import parse_suppressions, suppressed_rules
+
+BAD = textwrap.dedent(
+    """
+    def prog(comm):
+        if comm.rank == 0:
+            comm.barrier()
+    """
+)
+
+GOOD = textwrap.dedent(
+    """
+    def prog(comm):
+        comm.barrier()
+    """
+)
+
+
+# --------------------------------------------------------------------- #
+# suppressions
+# --------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_parse_rules_and_reason(self):
+        (sup,) = parse_suppressions(
+            "x = 1  # spmd: ignore[SPMD001, spmd003] matched in caller\n"
+        )
+        assert sup.rules == {"SPMD001", "SPMD003"}
+        assert sup.reason == "matched in caller"
+        assert not sup.standalone
+
+    def test_standalone_covers_next_line(self):
+        source = "# spmd: ignore[*]\ncomm.barrier()\n"
+        (sup,) = parse_suppressions(source)
+        assert sup.standalone
+        covered = suppressed_rules([sup])
+        assert covered[1] == {"*"} and covered[2] == {"*"}
+
+    def test_trailing_covers_only_its_line(self):
+        source = "comm.barrier()  # spmd: ignore[SPMD001] demo\n"
+        covered = suppressed_rules(parse_suppressions(source))
+        assert set(covered) == {1}
+
+
+# --------------------------------------------------------------------- #
+# fingerprints and baseline diffs
+# --------------------------------------------------------------------- #
+class TestBaseline:
+    def test_fingerprint_survives_line_drift(self):
+        before = lint_source(BAD, "src/repro/x.py")
+        after = lint_source("\n\n\n" + BAD, "src/repro/x.py")
+        assert fingerprints(before) == fingerprints(after)
+        assert before[0].line != after[0].line
+
+    def test_identical_findings_get_distinct_occurrences(self):
+        source = textwrap.dedent(
+            """
+            def prog(comm):
+                if comm.rank == 0:
+                    comm.barrier()
+                if comm.rank == 1:
+                    comm.barrier()
+            """
+        )
+        prints = fingerprints(lint_source(source, "src/repro/x.py"))
+        assert len(prints) == 2 and len(set(prints)) == 2
+        assert prints[0].endswith(":0") and prints[1].endswith(":1")
+
+    def test_diff_splits_new_and_stale(self):
+        findings = lint_source(BAD, "src/repro/x.py")
+        baseline = Baseline.from_findings(findings)
+        new, stale = baseline.diff(findings)
+        assert new == [] and stale == []
+        new, stale = baseline.diff([])
+        assert new == [] and len(stale) == 1
+        new, stale = Baseline().diff(findings)
+        assert len(new) == 1 and stale == []
+
+    def test_roundtrip(self, tmp_path):
+        findings = lint_source(BAD, "src/repro/x.py")
+        path = tmp_path / "baseline.json"
+        write_baseline(Baseline.from_findings(findings), path)
+        loaded = load_baseline(path)
+        assert loaded.diff(findings) == ([], [])
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json").entries == {}
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+
+# --------------------------------------------------------------------- #
+# the CLI gate
+# --------------------------------------------------------------------- #
+@pytest.fixture()
+def tree(tmp_path, monkeypatch):
+    """A fake repo tree with one bad and one good module, cwd pinned."""
+    pkg = tmp_path / "src" / "repro" / "fake"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD)
+    (pkg / "good.py").write_text(GOOD)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestCli:
+    def test_findings_without_baseline_fail(self, tree, capsys):
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "SPMD001" in out and "bad.py:4" in out
+
+    def test_write_baseline_then_gate_passes(self, tree, capsys):
+        assert main(["src", "--write-baseline"]) == 0
+        assert main(["src"]) == 0
+        payload = json.loads((tree / "spmd_baseline.json").read_text())
+        assert len(payload["findings"]) == 1
+
+    def test_new_finding_breaks_the_gate(self, tree):
+        assert main(["src", "--write-baseline"]) == 0
+        bad2 = tree / "src" / "repro" / "fake" / "bad2.py"
+        bad2.write_text(BAD)
+        assert main(["src"]) == 1
+
+    def test_fixed_finding_reports_stale_but_passes(self, tree, capsys):
+        assert main(["src", "--write-baseline"]) == 0
+        (tree / "src" / "repro" / "fake" / "bad.py").write_text(GOOD)
+        assert main(["src"]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_no_baseline_flag_ignores_the_file(self, tree):
+        assert main(["src", "--write-baseline"]) == 0
+        assert main(["src", "--no-baseline"]) == 1
+
+    def test_json_output(self, tree, capsys):
+        assert main(["src", "--json", "--no-baseline"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "SPMD001"
+        assert finding["path"].endswith("bad.py")
+        assert not finding["baselined"]
+
+    def test_reasonless_suppression_warns_but_passes(self, tree, capsys):
+        target = tree / "src" / "repro" / "fake" / "bad.py"
+        target.write_text(BAD.replace(
+            "comm.barrier()", "comm.barrier()  # spmd: ignore[SPMD001]"
+        ))
+        assert main(["src"]) == 0
+        assert "has no reason" in capsys.readouterr().out
+
+    def test_single_file_argument(self, tree):
+        assert main(["src/repro/fake/good.py", "--no-baseline"]) == 0
+        assert main(["src/repro/fake/bad.py", "--no-baseline"]) == 1

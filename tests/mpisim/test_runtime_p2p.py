@@ -32,6 +32,7 @@ class TestRuntime:
     def test_exception_propagates(self):
         def prog(comm):
             if comm.rank == 1:
+                # spmd: ignore[SPMD005] deliberate divergence: this test IS the abort machinery
                 raise ValueError("boom")
             # other ranks block so the abort machinery has to wake them
             comm.barrier()
